@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding analysis (timed once through pytest-benchmark), prints the same
+rows/series the paper reports, and asserts the qualitative shape (orderings,
+crossovers, approximate factors) that the reproduction is expected to
+preserve.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import render_table
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """The synthetic Huawei-like trace used by the §2 benchmarks (Figures 2-5)."""
+    config = TraceGeneratorConfig(num_requests=30_000, num_functions=200, seed=2026)
+    return TraceGenerator(config).generate()
+
+
+def emit(title: str, rows, columns=None) -> None:
+    """Print a result table (visible with ``pytest -s``) for EXPERIMENTS.md."""
+    print()
+    print(render_table(list(rows), columns=columns, title=title))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are macro-benchmarks (whole-figure regenerations), so a
+    single round keeps the harness runtime proportional to the paper's
+    experiment count rather than pytest-benchmark's statistical defaults.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

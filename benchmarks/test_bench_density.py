@@ -1,0 +1,30 @@
+"""Provider-side density study: why control knobs are constrained (paper §2.2 / §3.3)."""
+
+from repro.cluster.density import deployment_density_study, keepalive_density_impact
+from repro.platform.presets import get_platform_preset
+
+from .conftest import emit, run_once
+
+
+def test_bench_density_control_knob_regimes(benchmark):
+    reports = run_once(benchmark, deployment_density_study, num_sandboxes=2000, seed=0)
+    rows = [r.as_row() for r in reports]
+    emit("Extension -- deployment density under control-knob regimes (§2.2)", rows)
+    by_regime = {row["regime"]: row for row in rows}
+    # Constraining CPU:memory ratios packs at least as densely as free-form
+    # allocations, which is the provider-side rationale for constrained knobs.
+    assert by_regime["ratio_1_to_4"]["num_hosts"] <= by_regime["free_form"]["num_hosts"]
+    assert by_regime["free_form"]["stranded_vcpus"] >= by_regime["ratio_1_to_4"]["stranded_vcpus"]
+
+
+def test_bench_density_keepalive_pinning(benchmark):
+    policies = {
+        "aws_freeze": get_platform_preset("aws_lambda_like").keep_alive,
+        "gcp_scale_down": get_platform_preset("gcp_run_like").keep_alive,
+        "azure_full": get_platform_preset("azure_consumption_like").keep_alive,
+    }
+    rows = run_once(benchmark, keepalive_density_impact, policies, num_idle_sandboxes=2000)
+    emit("Extension -- host capacity pinned by idle (kept-alive) sandboxes (§3.3)", rows)
+    by_policy = {row["policy"]: row for row in rows}
+    assert by_policy["aws_freeze"]["num_hosts_pinned"] == 0.0
+    assert by_policy["azure_full"]["num_hosts_pinned"] > by_policy["gcp_scale_down"]["num_hosts_pinned"]

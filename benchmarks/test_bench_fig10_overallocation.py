@@ -1,0 +1,57 @@
+"""Figure 10: execution duration versus fractional CPU allocation (overallocation)."""
+
+import numpy as np
+
+from repro.analysis.overallocation import (
+    figure10_allocation_sweep,
+    figure10_jump_positions,
+    figure10_summary,
+)
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig10_aws_allocation_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        figure10_allocation_sweep,
+        provider="aws_lambda",
+        cpu_time_s=0.016,
+        samples_per_point=15,
+        seed=3,
+    )
+    emit("Figure 10(a) -- AWS-like duration vs fractional allocation", rows)
+    summary = figure10_summary(rows)
+    emit("Figure 10(a) -- summary", [summary])
+    jumps = figure10_jump_positions(provider="aws_lambda", cpu_time_s=0.016)
+    emit("Figure 10(a) -- predicted quantization-jump allocations", jumps)
+
+    # Shape: the empirical mean sits at or below the reciprocal expectation
+    # (overallocation), the curve is monotonically decreasing overall, and the
+    # top of the allocation range is a plateau at the full-speed duration.
+    assert summary["fraction_at_or_below_expected"] >= 0.9
+    assert summary["mean_overallocation_ratio_subcore"] >= 1.05
+    ordered = sorted(rows, key=lambda r: r["vcpu_fraction"])
+    assert ordered[0]["empirical_mean_duration_ms"] > ordered[-1]["empirical_mean_duration_ms"]
+    assert ordered[-1]["empirical_mean_duration_ms"] == float(
+        np.clip(ordered[-1]["empirical_mean_duration_ms"], 15.0, 17.0)
+    )
+    # The first predicted jump is at ~1,400 MB, matching the paper's harmonic sequence.
+    assert abs(jumps[0]["memory_mb"] - 1415) < 20
+
+
+def test_bench_fig10_gcp_allocation_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        figure10_allocation_sweep,
+        provider="gcp_run_functions",
+        cpu_time_s=0.016,
+        samples_per_point=8,
+        seed=11,
+    )
+    emit("Figure 10(b) -- GCP-like duration vs fractional allocation", rows)
+    # Same qualitative shape on the GCP-like configuration (100 ms period).
+    for row in rows:
+        assert row["empirical_mean_duration_ms"] <= row["expected_duration_ms"] * 1.05
+    ordered = sorted(rows, key=lambda r: r["vcpu_fraction"])
+    assert ordered[0]["empirical_mean_duration_ms"] > ordered[-1]["empirical_mean_duration_ms"]

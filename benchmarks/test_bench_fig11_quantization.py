@@ -1,0 +1,22 @@
+"""Figure 11: theoretical durations under different bandwidth-control periods (Equation 2)."""
+
+from repro.analysis.quantization import figure11_series, figure11_summary
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig11_theoretical_durations(benchmark):
+    rows = run_once(benchmark, figure11_series)
+    summary = figure11_summary(rows)
+    emit("Figure 11 -- deviation from ideal reciprocal scaling per period", summary)
+    by_period = {row["period_ms"]: row for row in summary}
+
+    # Shape: the deviation from the ideal reciprocal curve grows monotonically
+    # with the bandwidth-control period; short periods track the ideal closely.
+    periods = sorted(by_period)
+    deviations = [by_period[p]["mean_abs_deviation_ms"] for p in periods]
+    assert deviations == sorted(deviations)
+    assert by_period[5.0]["mean_abs_deviation_ms"] < 2.0
+    assert by_period[100.0]["mean_abs_deviation_ms"] > 10.0
+    # Durations never drop below the task's CPU demand (51.8 ms).
+    assert all(row["duration_ms"] >= 51.8 - 1e-6 for row in rows)

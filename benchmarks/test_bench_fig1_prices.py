@@ -1,0 +1,26 @@
+"""Figure 1 and the §1 comparison: per-unit resource prices across platforms."""
+
+from repro.billing.pricing import figure1_series, price_comparison_vs_vm
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig1_unit_prices(benchmark):
+    rows = run_once(benchmark, figure1_series)
+    emit("Figure 1 -- vCPU and memory unit prices per platform", rows)
+    # Shape (I1): per-unit prices are similar across providers -- within a
+    # small factor, not orders of magnitude apart.
+    cpu_prices = [r["cpu_per_vcpu_second"] for r in rows if r["cpu_per_vcpu_second"] > 0]
+    assert max(cpu_prices) / min(cpu_prices) < 4.0
+    memory_prices = [r["memory_per_gb_second"] for r in rows if r["memory_per_gb_second"] > 0]
+    assert max(memory_prices) / min(memory_prices) < 5.0
+
+
+def test_bench_section1_serverless_vs_vm(benchmark):
+    comparison = run_once(benchmark, price_comparison_vs_vm)
+    emit("§1 -- Lambda vs EC2 vs Fargate per-second price", [comparison])
+    # Paper: EC2 at 41.1% and Fargate at 47.8% of the Lambda price; i.e.
+    # serverless costs ~2x the same hardware rented as VM/container.
+    assert 0.35 <= comparison["ec2_fraction_of_lambda"] <= 0.48
+    assert 0.42 <= comparison["fargate_fraction_of_lambda"] <= 0.55
+    assert comparison["ec2_fraction_of_lambda"] < comparison["fargate_fraction_of_lambda"]

@@ -1,0 +1,42 @@
+"""Figure 2: billable resources under different billing models (trace-driven)."""
+
+from repro.analysis.inflation import figure2_cdf_series, figure2_summary
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig2_billable_resource_inflation(benchmark, bench_trace):
+    rows = run_once(benchmark, figure2_summary, bench_trace)
+    emit("Figure 2 -- billable vs actual resources (aggregate inflation factors)", rows)
+    by_platform = {row["platform"]: row for row in rows}
+
+    # Shape: usage-based billing shows the lowest inflation (Cloudflare CPU ~1x,
+    # Azure memory lowest among memory billers); GCP's 100 ms rounding is the
+    # highest for both resources; AWS sits in between; all inflations are in
+    # the single-digit-multiple range the paper reports (1x-5x), not 100x.
+    assert 1.0 <= by_platform["cloudflare_workers"]["cpu_inflation"] <= 1.2
+    gcp = by_platform["gcp_run_request"]
+    aws = by_platform["aws_lambda"]
+    azure = by_platform["azure_consumption"]
+    huawei = by_platform["huawei_functiongraph"]
+    assert gcp["cpu_inflation"] >= aws["cpu_inflation"] >= by_platform["cloudflare_workers"]["cpu_inflation"]
+    assert gcp["memory_inflation"] >= aws["memory_inflation"]
+    assert azure["memory_inflation"] <= huawei["memory_inflation"]
+    for row in rows:
+        for key in ("cpu_inflation", "memory_inflation"):
+            if row[key] > 0:
+                assert 1.0 <= row[key] < 8.0
+
+
+def test_bench_fig2_cdf_series(benchmark, bench_trace):
+    series = run_once(benchmark, figure2_cdf_series, bench_trace, num_points=40)
+    cpu_rows = [
+        {"series": name, "p50_value": points[len(points) // 2][0]}
+        for name, points in series["cpu"].items()
+    ]
+    emit("Figure 2 -- billable vCPU-seconds CDF medians per series", cpu_rows)
+    # The billable CDFs lie to the right of (dominate) the actual-usage CDF.
+    actual_median = dict((r["series"], r["p50_value"]) for r in cpu_rows)["actual_usage"]
+    for row in cpu_rows:
+        if row["series"] != "actual_usage":
+            assert row["p50_value"] >= actual_median * 0.99

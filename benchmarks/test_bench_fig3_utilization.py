@@ -1,0 +1,20 @@
+"""Figure 3: resource utilisation distributions and their correlation."""
+
+from repro.analysis.utilization import figure3_summary
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig3_utilization(benchmark, bench_trace):
+    rows = run_once(benchmark, figure3_summary, bench_trace)
+    emit("Figure 3 -- utilisation statistics (measured vs paper)", rows)
+    values = {row["metric"]: row["measured"] for row in rows}
+
+    # Shape: most requests use well under their allocation, and the CPU/memory
+    # utilisation correlation is moderate (paper: Pearson 0.552 / Spearman 0.565),
+    # i.e. not strong enough to justify coupled CPU-memory control knobs.
+    assert values["cpu_below_half_fraction"] > 0.35
+    assert values["memory_below_half_fraction"] > 0.45
+    assert 0.3 <= values["pearson"] <= 0.8
+    assert 0.3 <= values["spearman"] <= 0.8
+    assert abs(values["pearson"] - 0.552) < 0.25

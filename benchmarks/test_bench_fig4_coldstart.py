@@ -1,0 +1,19 @@
+"""Figure 4: billable resources of cold starts versus subsequent executions."""
+
+from repro.analysis.coldstart import figure4_summary
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig4_coldstart_cost(benchmark, bench_trace):
+    rows = run_once(benchmark, figure4_summary, bench_trace)
+    emit("Figure 4 -- cold starts whose init cost is not amortised", rows)
+    by_resource = {row["resource"]: row for row in rows}
+
+    # Shape: a substantial fraction of cold starts consume at least as many
+    # billable resources during initialisation as all their subsequent
+    # requests combined (paper: ~42.1%), which motivates turnaround billing.
+    for resource in ("cpu", "memory"):
+        fraction = by_resource[resource]["negative_or_zero_fraction"]
+        assert 0.10 <= fraction <= 0.90
+        assert by_resource[resource]["num_cold_starts"] > 100

@@ -1,0 +1,33 @@
+"""Figure 5: invocation-fee equivalents and rounded-up billable time / memory."""
+
+from repro.analysis.rounding import figure5_invocation_fee_equivalents, figure5_rounding_summary
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig5_invocation_fee_equivalents(benchmark):
+    rows = run_once(
+        benchmark, figure5_invocation_fee_equivalents, vcpu_sweep=(0.072, 0.25, 0.5, 0.75, 1.0)
+    )
+    emit("Figure 5 (left) -- invocation fee as equivalent billable wall-clock time", rows)
+    aws = {row["vcpu_allocation"]: row["fee_equivalent_ms"] for row in rows if row["platform"] == "aws_lambda"}
+    # Paper: ~96 ms at the default 128 MB configuration, shrinking with allocation.
+    assert abs(aws[0.072] - 96.0) < 5.0
+    assert aws[0.072] > aws[0.25] > aws[1.0]
+    # Platforms without a request fee sit at zero.
+    ibm = [row for row in rows if row["platform"] == "ibm_code_engine"]
+    assert all(row["fee_equivalent_ms"] == 0.0 for row in ibm)
+
+
+def test_bench_fig5_rounding(benchmark, bench_trace):
+    rows = run_once(benchmark, figure5_rounding_summary, bench_trace)
+    emit("Figure 5 (right) -- rounded-up billable time and memory", rows)
+    values = {row["metric"]: row["measured"] for row in rows}
+    # Shape: 100 ms granularity inflates the mean billable time above the raw
+    # mean execution time; the rounded values stay on the same order of
+    # magnitude as the execution itself (paper: 77.12 ms and 61.35 ms vs a
+    # 58.19 ms mean execution).
+    assert values["rounded_time_100ms_gran_ms"] > values["mean_execution_ms"]
+    assert values["rounded_time_1ms_gran_100ms_cutoff_ms"] > 0.9 * values["mean_execution_ms"]
+    assert values["rounded_time_100ms_gran_ms"] < 5 * values["mean_execution_ms"]
+    assert values["rounded_memory_128mb_gran_gb_s"] > values["mean_billable_memory_gb_s"] * 0.5

@@ -1,0 +1,50 @@
+"""Figure 6: execution duration under varying request rates (concurrency model cost)."""
+
+from repro.analysis.concurrency import (
+    figure6_burst_sweep,
+    figure6_long_run_summary,
+    figure6_long_run_timeline,
+    figure6_slowdown_summary,
+)
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig6_burst_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        figure6_burst_sweep,
+        rps_sweep=(1, 2, 4, 6, 10, 15, 20, 30),
+        burst_duration_s=120.0,
+    )
+    emit("Figure 6 (left) -- execution duration vs request rate", rows)
+    summary = {row["platform"]: row for row in figure6_slowdown_summary(rows)}
+    emit("Figure 6 (left) -- max slowdown per platform", summary.values())
+
+    # Shape: the single-concurrency platform (AWS-like) is flat across request
+    # rates, while the multi-concurrency platform (GCP-like) slows down by a
+    # large factor once the rate exceeds a few RPS (paper: up to 9.65x).
+    assert summary["aws"]["max_slowdown"] < 1.15
+    assert summary["gcp"]["max_slowdown"] > 3.0
+    gcp_rows = sorted((r for r in rows if r["platform"] == "gcp"), key=lambda r: r["rps"])
+    low_rate_mean = gcp_rows[0]["mean_duration_ms"]
+    high_rate_mean = gcp_rows[-1]["mean_duration_ms"]
+    assert high_rate_mean > 2.0 * low_rate_mean
+    # The slowdown only materialises above a handful of RPS (crossover point).
+    assert gcp_rows[1]["mean_duration_ms"] < 2.0 * low_rate_mean
+
+
+def test_bench_fig6_long_run_scaling_lag(benchmark):
+    timeline = run_once(
+        benchmark, figure6_long_run_timeline, rps=15.0, duration_s=300.0, bucket_s=20.0, seed=2
+    )
+    emit("Figure 6 (right) -- duration and instance count over time at 15 RPS", timeline)
+    summary = figure6_long_run_summary(timeline, tail_start_s=120.0)
+    emit("Figure 6 (right) -- scaling-lag summary", [summary])
+
+    # Shape: scaling takes tens of seconds to begin (metric aggregation lag),
+    # the early buckets are much slower than the steady state, and the
+    # instance count grows well beyond one.
+    assert summary["max_instances"] >= 4
+    assert summary["peak_mean_duration_s"] > 2.0 * summary["steady_state_mean_duration_s"]
+    assert timeline[0]["mean_duration_s"] > summary["steady_state_mean_duration_s"]

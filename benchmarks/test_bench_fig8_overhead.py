@@ -1,0 +1,22 @@
+"""Figure 8: serving-architecture overhead measured with a minimal function."""
+
+from repro.analysis.overhead import figure8_overhead
+
+from .conftest import emit, run_once
+
+
+def test_bench_fig8_serving_architecture_overhead(benchmark):
+    rows = run_once(benchmark, figure8_overhead, num_requests=400)
+    emit("Figure 8 -- minimal-function execution duration per serving architecture", rows)
+    by_config = {row["configuration"]: row for row in rows}
+
+    # Shape (I7): HTTP-server platforms have the highest overhead (several ms,
+    # worse at small CPU allocations), API polling sits around ~1.2 ms and is
+    # stable, and code/binary execution is near zero.
+    assert by_config["gcp_0.08vcpu"]["mean_duration_ms"] > by_config["gcp_1vcpu"]["mean_duration_ms"]
+    assert by_config["gcp_1vcpu"]["mean_duration_ms"] > by_config["aws_1769mb"]["mean_duration_ms"]
+    assert by_config["azure_consumption"]["mean_duration_ms"] > by_config["aws_1769mb"]["mean_duration_ms"]
+    assert by_config["aws_1769mb"]["mean_duration_ms"] < 2.0
+    assert by_config["cloudflare_workers"]["mean_duration_ms"] < 0.2
+    # The AWS overhead is roughly stable across memory sizes (within a few ms).
+    assert abs(by_config["aws_128mb"]["mean_duration_ms"] - by_config["aws_1769mb"]["mean_duration_ms"]) < 3.0

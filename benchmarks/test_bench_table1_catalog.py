@@ -1,0 +1,33 @@
+"""Table 1: billing models of major public serverless platforms."""
+
+from repro.billing.catalog import PLATFORM_BILLING_MODELS
+from repro.billing.models import BillableTime
+
+from .conftest import emit, run_once
+
+
+def test_bench_table1_billing_catalog(benchmark):
+    rows = run_once(benchmark, lambda: [m.describe() for m in PLATFORM_BILLING_MODELS.values()])
+    emit(
+        "Table 1 -- Billing models of major public serverless platforms",
+        rows,
+        columns=[
+            "platform",
+            "billable_time",
+            "time_granularity_ms",
+            "minimum_time_ms",
+            "allocation_resources",
+            "usage_resources",
+            "invocation_fee_usd",
+        ],
+    )
+    # Shape: 12 platforms; turnaround billing is common (AWS, GCP, IBM); only
+    # Cloudflare bills consumed CPU time; instance billing has no request fee.
+    assert len(rows) == 12
+    turnaround = [r for r in rows if r["billable_time"] == BillableTime.TURNAROUND.value]
+    assert len(turnaround) >= 3
+    cpu_time_billers = [r for r in rows if r["billable_time"] == BillableTime.CPU_TIME.value]
+    assert [r["platform"] for r in cpu_time_billers] == ["cloudflare_workers"]
+    for row in rows:
+        if row["billable_time"] == BillableTime.INSTANCE.value:
+            assert row["invocation_fee_usd"] == 0.0

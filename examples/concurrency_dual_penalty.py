@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The dual penalty of the multi-concurrency serving model (paper §3.1, Figure 6).
+
+Deploys the same compute-intensive function (PyAES, ~160 ms CPU per request at
+1 vCPU) on a single-concurrency platform (AWS-Lambda-like) and a
+multi-concurrency platform (GCP-Cloud-Run-like, concurrency limit 80), sends
+short traffic bursts at increasing request rates, and reports both the mean
+execution duration and the resulting per-request cost: slower execution under
+contention directly translates into a larger wall-clock-billed invoice.
+
+Run with::
+
+    python examples/concurrency_dual_penalty.py
+"""
+
+from repro.billing.calculator import BillingCalculator, InvocationBillingInput
+from repro.billing.catalog import PlatformName
+from repro.core.report import render_table
+from repro.platform.invoker import PlatformSimulator
+from repro.platform.presets import get_platform_preset
+from repro.workloads.functions import PYAES_FUNCTION
+from repro.workloads.traffic import constant_rate_arrivals
+
+RPS_SWEEP = (1, 4, 8, 15, 30)
+BURST_DURATION_S = 120.0
+
+
+def mean_cost_per_request(metrics, billing_platform, alloc_vcpus, alloc_memory_gb):
+    """Bill every simulated request and return the mean cost in USD."""
+    calculator = BillingCalculator(billing_platform)
+    costs = []
+    for outcome in metrics.requests:
+        inputs = InvocationBillingInput(
+            execution_s=outcome.execution_duration_s,
+            init_s=outcome.init_duration_s,
+            alloc_vcpus=alloc_vcpus,
+            alloc_memory_gb=alloc_memory_gb,
+            used_cpu_seconds=PYAES_FUNCTION.cpu_time_s,
+            used_memory_gb=PYAES_FUNCTION.used_memory_gb,
+        )
+        costs.append(calculator.bill(inputs).invoice.total)
+    return sum(costs) / len(costs) if costs else float("nan")
+
+
+def main() -> None:
+    function = PYAES_FUNCTION.to_function_config(alloc_vcpus=1.0, alloc_memory_gb=2.0, init_duration_s=1.5)
+    scenarios = {
+        "aws_single_concurrency": (get_platform_preset("aws_lambda_like"), PlatformName.AWS_LAMBDA),
+        "gcp_multi_concurrency": (get_platform_preset("gcp_run_like"), PlatformName.GCP_RUN_REQUEST),
+    }
+    rows = []
+    for label, (preset, billing) in scenarios.items():
+        for rps in RPS_SWEEP:
+            simulator = PlatformSimulator(preset, function, seed=1)
+            metrics = simulator.run(constant_rate_arrivals(rps, BURST_DURATION_S))
+            rows.append(
+                {
+                    "platform": label,
+                    "rps": rps,
+                    "mean_duration_ms": metrics.mean_execution_duration_s() * 1e3,
+                    "p95_duration_ms": metrics.percentile_execution_duration_s(0.95) * 1e3,
+                    "max_instances": metrics.max_instances(),
+                    "mean_cost_per_request_usd": mean_cost_per_request(metrics, billing, 1.0, 2.0),
+                }
+            )
+    print(render_table(rows, title="Figure 6 scenario -- execution duration and cost vs request rate"))
+
+    aws_base = [r for r in rows if r["platform"] == "aws_single_concurrency"][0]
+    gcp_rows = [r for r in rows if r["platform"] == "gcp_multi_concurrency"]
+    worst = max(gcp_rows, key=lambda r: r["mean_duration_ms"])
+    print(
+        f"\nDual penalty at {worst['rps']} RPS on the multi-concurrency platform: "
+        f"{worst['mean_duration_ms'] / gcp_rows[0]['mean_duration_ms']:.1f}x slower than its own 1 RPS baseline "
+        f"and {worst['mean_cost_per_request_usd'] / aws_base['mean_cost_per_request_usd']:.1f}x the per-request cost "
+        "of the single-concurrency deployment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: from a synthetic trace to billable-resource inflation and per-platform costs.
+
+This walks the three layers of the paper top-down in ~60 lines:
+
+1. generate a Huawei-like synthetic request trace,
+2. bill every request under the Table 1 billing models and measure how far the
+   billable resources exceed actual consumption (Figure 2),
+3. price a single workload (FunctionBench's PyAES) on several platforms with
+   serving-architecture and OS-scheduling effects applied.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis.inflation import figure2_summary
+from repro.billing.catalog import PlatformName
+from repro.core.cost_model import CostModel
+from repro.core.report import render_table
+from repro.platform.presets import get_platform_preset
+from repro.traces.calibration import check_calibration
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+from repro.workloads.functions import PYAES_FUNCTION
+
+
+def main() -> None:
+    # 1. A small synthetic production trace (deterministic given the seed).
+    trace = TraceGenerator(TraceGeneratorConfig(num_requests=10_000, num_functions=100, seed=1)).generate()
+    print(f"Generated {len(trace)} requests from {len(trace.functions)} functions\n")
+
+    calibration = [
+        {"statistic": name, **{k: entry[k] for k in ("measured", "paper", "ok")}}
+        for name, entry in check_calibration(trace).items()
+    ]
+    print(render_table(calibration, title="Trace calibration against the paper's reported statistics"))
+    print()
+
+    # 2. Billable-resource inflation under the Table 1 billing models (Figure 2).
+    inflation = figure2_summary(trace)
+    print(
+        render_table(
+            inflation,
+            columns=["platform", "cpu_inflation", "memory_inflation", "paper_cpu_inflation", "paper_memory_inflation"],
+            title="Billable resources vs actual consumption (aggregate inflation factors)",
+        )
+    )
+    print()
+
+    # 3. Price one workload across platforms, with serving + scheduling effects.
+    rows = []
+    configurations = [
+        (PlatformName.AWS_LAMBDA, "aws_lambda_like", "aws_lambda"),
+        (PlatformName.GCP_RUN_REQUEST, "gcp_run_like", "gcp_run_functions"),
+        (PlatformName.AZURE_CONSUMPTION, "azure_consumption_like", None),
+        (PlatformName.CLOUDFLARE_WORKERS, "cloudflare_workers_like", None),
+    ]
+    for billing, serving_name, sched in configurations:
+        model = CostModel(billing, serving_platform=get_platform_preset(serving_name), scheduling_provider=sched)
+        report = model.invocation_cost(PYAES_FUNCTION, alloc_vcpus=1.0, alloc_memory_gb=1.769)
+        rows.append(
+            {
+                "platform": billing.value,
+                "execution_ms": report.execution_duration_s * 1e3,
+                "cost_per_million_usd": report.cost_per_million_invocations,
+                "invocation_fee_share": report.invocation_fee_share,
+            }
+        )
+    print(render_table(rows, title="PyAES (160 ms CPU) at 1 vCPU: cost per million invocations"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CPU overallocation and quantized scheduling (paper §4, Figures 10-12 and Table 3).
+
+Runs a compute-bound function on the OS-scheduling simulator with AWS-, GCP-
+and IBM-like CPU bandwidth-control settings:
+
+1. sweeps the fractional vCPU allocation and compares the measured duration
+   against the ideal 1/allocation expectation (Figure 10's overallocation and
+   quantization jumps),
+2. profiles throttling from user space with the paper's Algorithm 1 and prints
+   the throttle interval / obtained-CPU distributions (Figure 12),
+3. infers each provider's bandwidth period and timer frequency from the
+   observed profiles (Table 3).
+
+Run with::
+
+    python examples/scheduler_overallocation.py
+"""
+
+from repro.analysis.overallocation import figure10_allocation_sweep, figure10_jump_positions
+from repro.analysis.throttle import (
+    infer_scheduling_parameters_by_matching,
+    profile_configuration,
+)
+from repro.core.report import render_table
+from repro.sched.presets import PROVIDER_SCHED_PRESETS
+
+
+def main() -> None:
+    # 1. Figure 10: allocation sweep on the AWS-like configuration.
+    sweep = figure10_allocation_sweep(provider="aws_lambda", cpu_time_s=0.016, samples_per_point=10, seed=7)
+    print(
+        render_table(
+            sweep,
+            columns=[
+                "memory_mb",
+                "vcpu_fraction",
+                "empirical_mean_duration_ms",
+                "expected_duration_ms",
+                "overallocation_ratio",
+            ],
+            title="Figure 10 -- duration vs fractional allocation (AWS-like, 16 ms CPU task)",
+        )
+    )
+    jumps = figure10_jump_positions(provider="aws_lambda", cpu_time_s=0.016)
+    print()
+    print(render_table(jumps, title="Predicted quantization jumps (harmonic sequence, ~1400 MB x 1/n)"))
+
+    # 2 + 3. Figure 12 / Table 3: profile each provider and infer its settings.
+    rows = []
+    for provider, preset in PROVIDER_SCHED_PRESETS.items():
+        profile = profile_configuration(
+            vcpu_fraction=0.25,
+            period_s=preset.period_s,
+            tick_hz=preset.tick_hz,
+            exec_duration_s=4.0,
+            invocations=8,
+            seed=13,
+        )
+        summary = profile.summary()
+        inferred = infer_scheduling_parameters_by_matching(profile, vcpu_fraction=0.25)
+        rows.append(
+            {
+                "provider": provider,
+                "mean_throttle_interval_ms": summary["mean_throttle_interval_s"] * 1e3,
+                "mean_obtained_cpu_ms": summary["mean_obtained_cpu_s"] * 1e3,
+                "cpu_share_obtained": summary["cpu_share"],
+                "inferred_period_ms": inferred["period_ms"],
+                "inferred_tick_hz": inferred["tick_hz"],
+                "actual_period_ms": preset.period_s * 1e3,
+                "actual_tick_hz": preset.tick_hz,
+            }
+        )
+    print()
+    print(render_table(rows, title="Figure 12 / Table 3 -- throttle profiles and inferred scheduling parameters"))
+    print(
+        "\nNote how every provider grants slightly more CPU than the 0.25 vCPU limit "
+        "(cpu_share_obtained > 0.25): lagged tick-based accounting lets short bursts overrun the quota."
+    )
+
+
+if __name__ == "__main__":
+    main()

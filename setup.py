@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` (and ``python setup.py develop``) works on older
+environments without the ``wheel`` package, where PEP 660 editable installs
+are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

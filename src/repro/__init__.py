@@ -1,0 +1,20 @@
+"""Reproduction of *Demystifying Serverless Costs on Public Platforms* (EuroSys 2026).
+
+The package is organised as a stack of substrates mirroring the paper's
+top-down methodology:
+
+- :mod:`repro.billing` -- user-facing billing models and the pricing catalog (paper §2).
+- :mod:`repro.traces` -- serverless request traces (synthetic Huawei-like generator) and
+  streaming statistics used by the billing analysis.
+- :mod:`repro.platform` -- a discrete-event serverless platform simulator covering sandbox
+  lifecycle, concurrency models, autoscaling, serving architectures and keep-alive (paper §3).
+- :mod:`repro.sched` -- an OS CPU-bandwidth-control scheduling simulator (CFS/EEVDF) used to
+  study quantized scheduling and overallocation (paper §4).
+- :mod:`repro.workloads` -- synthetic function workloads and traffic generators.
+- :mod:`repro.core` -- the top-down cost decomposition framework tying the layers together.
+- :mod:`repro.analysis` -- one module per paper experiment (figures 2-12, tables 1-3).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

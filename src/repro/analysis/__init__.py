@@ -1,0 +1,10 @@
+"""Per-experiment analyses: one module per paper figure or table.
+
+Every module exposes functions returning lists of row dictionaries (the same
+rows the paper's figure/table reports), so benchmarks and the CLI can print
+them and EXPERIMENTS.md can record paper-versus-measured values.
+"""
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]

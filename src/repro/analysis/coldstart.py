@@ -1,0 +1,69 @@
+"""Figure 4: billable resources of cold starts versus subsequent requests in the same sandbox.
+
+For every traceable cold start the paper computes the difference between the
+billable resources consumed by all requests subsequently served by the sandbox
+and the billable resources consumed by the initialisation itself (wall-clock
+allocation during init).  A zero-or-negative difference means the cold start
+alone cost the provider at least as much as everything the sandbox later
+earned under execution-duration billing -- the paper finds this for ~42.1% of
+cold starts, which explains the industry shift to turnaround-time billing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.inflation import default_trace
+from repro.traces.schema import Trace
+from repro.traces.statistics import cdf_points
+
+__all__ = ["figure4_differences", "figure4_summary", "PAPER_NEGATIVE_OR_ZERO_FRACTION"]
+
+#: Paper-reported fraction of cold starts with zero or negative difference.
+PAPER_NEGATIVE_OR_ZERO_FRACTION = 0.421
+
+
+def figure4_differences(trace: Optional[Trace] = None) -> Dict[str, List[float]]:
+    """Per-cold-start differences (execution billables minus init billables).
+
+    Returns two lists, one for CPU (vCPU-seconds) and one for memory
+    (GB-seconds), matching the two CDFs overlaid in Figure 4.
+    """
+    trace = trace if trace is not None else default_trace()
+    requests_by_pod: Dict[str, List] = {}
+    for record in trace.requests:
+        requests_by_pod.setdefault(record.pod_id, []).append(record)
+    cpu_diffs: List[float] = []
+    memory_diffs: List[float] = []
+    for cold_start in trace.cold_starts:
+        pod_requests = requests_by_pod.get(cold_start.pod_id, [])
+        exec_cpu = sum(r.alloc_vcpus * r.duration_s for r in pod_requests)
+        exec_memory = sum(r.alloc_memory_gb * r.duration_s for r in pod_requests)
+        cpu_diffs.append(exec_cpu - cold_start.init_cpu_seconds)
+        memory_diffs.append(exec_memory - cold_start.init_memory_gb_seconds)
+    return {"cpu": cpu_diffs, "memory": memory_diffs}
+
+
+def figure4_summary(trace: Optional[Trace] = None) -> List[Dict[str, float]]:
+    """Fractions of cold starts whose execution-phase billables do not cover the init cost."""
+    diffs = figure4_differences(trace)
+    rows: List[Dict[str, float]] = []
+    for resource, values in diffs.items():
+        if not values:
+            continue
+        negative_or_zero = sum(1 for v in values if v <= 0) / len(values)
+        rows.append(
+            {
+                "resource": resource,
+                "num_cold_starts": float(len(values)),
+                "negative_or_zero_fraction": negative_or_zero,
+                "paper_negative_or_zero_fraction": PAPER_NEGATIVE_OR_ZERO_FRACTION,
+            }
+        )
+    return rows
+
+
+def figure4_cdf_series(trace: Optional[Trace] = None, num_points: int = 50) -> Dict[str, List]:
+    """The CDF series plotted in Figure 4."""
+    diffs = figure4_differences(trace)
+    return {resource: cdf_points(values, num_points) for resource, values in diffs.items()}

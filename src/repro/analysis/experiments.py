@@ -1,0 +1,190 @@
+"""Registry of every reproduced experiment: table/figure id -> callable producing rows.
+
+This is the per-experiment index DESIGN.md refers to: each entry knows which
+paper artefact it regenerates, which modules implement it, and how to produce
+the result rows.  The CLI (``repro-serverless-costs run <experiment>``) and the
+benchmark harness both resolve experiments through this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    modules: str
+    runner: Callable[[], List[Mapping[str, object]]]
+    notes: str = ""
+
+
+def _table1() -> List[Mapping[str, object]]:
+    from repro.billing.catalog import PLATFORM_BILLING_MODELS
+
+    return [model.describe() for model in PLATFORM_BILLING_MODELS.values()]
+
+
+def _figure1() -> List[Mapping[str, object]]:
+    from repro.billing.pricing import figure1_series, price_comparison_vs_vm
+
+    rows: List[Mapping[str, object]] = list(figure1_series())
+    comparison = price_comparison_vs_vm()
+    rows.append({"platform": "ec2_vs_lambda_fraction", "cpu_per_vcpu_second": comparison["ec2_fraction_of_lambda"]})
+    rows.append(
+        {"platform": "fargate_vs_lambda_fraction", "cpu_per_vcpu_second": comparison["fargate_fraction_of_lambda"]}
+    )
+    return rows
+
+
+def _figure2() -> List[Mapping[str, object]]:
+    from repro.analysis.inflation import figure2_summary
+
+    return figure2_summary()
+
+
+def _figure3() -> List[Mapping[str, object]]:
+    from repro.analysis.utilization import figure3_summary
+
+    return figure3_summary()
+
+
+def _figure4() -> List[Mapping[str, object]]:
+    from repro.analysis.coldstart import figure4_summary
+
+    return figure4_summary()
+
+
+def _figure5() -> List[Mapping[str, object]]:
+    from repro.analysis.rounding import figure5_invocation_fee_equivalents, figure5_rounding_summary
+
+    rows: List[Mapping[str, object]] = list(figure5_rounding_summary())
+    fee_rows = figure5_invocation_fee_equivalents(vcpu_sweep=(0.072, 0.25, 0.5, 1.0))
+    rows.extend(fee_rows)
+    return rows
+
+
+def _figure6() -> List[Mapping[str, object]]:
+    from repro.analysis.concurrency import figure6_burst_sweep, figure6_slowdown_summary
+
+    rows = figure6_burst_sweep(rps_sweep=(1, 6, 15, 30), burst_duration_s=60.0)
+    return list(rows) + list(figure6_slowdown_summary(rows))
+
+
+def _figure8() -> List[Mapping[str, object]]:
+    from repro.analysis.overhead import figure8_overhead
+
+    return figure8_overhead(num_requests=200)
+
+
+def _figure9() -> List[Mapping[str, object]]:
+    from repro.analysis.keepalive import figure9_cold_start_probabilities
+
+    return figure9_cold_start_probabilities(idle_times_s=(60, 180, 300, 330, 360, 600, 720, 900, 1020))
+
+
+def _table2() -> List[Mapping[str, object]]:
+    from repro.analysis.keepalive import table2_keepalive_behavior
+
+    return table2_keepalive_behavior()
+
+
+def _figure10() -> List[Mapping[str, object]]:
+    from repro.analysis.overallocation import figure10_allocation_sweep
+
+    return figure10_allocation_sweep(samples_per_point=5)
+
+
+def _figure11() -> List[Mapping[str, object]]:
+    from repro.analysis.quantization import figure11_series, figure11_summary
+
+    return figure11_summary(figure11_series())
+
+
+def _figure12() -> List[Mapping[str, object]]:
+    from repro.analysis.throttle import figure12_cfs_vs_eevdf, figure12_provider_profiles
+
+    rows = figure12_provider_profiles(exec_duration_s=2.0, invocations=4)
+    rows.extend(figure12_cfs_vs_eevdf(exec_duration_s=2.0, invocations=4))
+    return rows
+
+
+def _table3() -> List[Mapping[str, object]]:
+    from repro.analysis.throttle import table3_inference
+
+    return table3_inference(exec_duration_s=2.0, invocations=4)
+
+
+def _exploit() -> List[Mapping[str, object]]:
+    from repro.analysis.exploit import exploit_summary
+
+    return exploit_summary()
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment(
+        "table1", "Billing models of major serverless platforms", "repro.billing.catalog", _table1
+    ),
+    "figure1": Experiment(
+        "figure1", "vCPU and memory unit prices; serverless vs VM comparison", "repro.billing.pricing", _figure1
+    ),
+    "figure2": Experiment(
+        "figure2", "Billable resources under different billing models", "repro.analysis.inflation", _figure2
+    ),
+    "figure3": Experiment(
+        "figure3", "Resource utilisation distributions and correlation", "repro.analysis.utilization", _figure3
+    ),
+    "figure4": Experiment(
+        "figure4", "Cold-start vs execution billable-resource differences", "repro.analysis.coldstart", _figure4
+    ),
+    "figure5": Experiment(
+        "figure5", "Invocation fee equivalents and rounded-up usage", "repro.analysis.rounding", _figure5
+    ),
+    "figure6": Experiment(
+        "figure6", "Execution duration under varying request rates", "repro.analysis.concurrency", _figure6
+    ),
+    "figure8": Experiment(
+        "figure8", "Serving-architecture overhead of a minimal function", "repro.analysis.overhead", _figure8
+    ),
+    "figure9": Experiment(
+        "figure9", "Cold-start probability versus idle time", "repro.analysis.keepalive", _figure9
+    ),
+    "table2": Experiment(
+        "table2", "Resource allocation behaviour during keep-alive", "repro.analysis.keepalive", _table2
+    ),
+    "figure10": Experiment(
+        "figure10", "Execution duration versus fractional CPU allocation", "repro.analysis.overallocation", _figure10
+    ),
+    "figure11": Experiment(
+        "figure11", "Theoretical durations under bandwidth-control periods", "repro.analysis.quantization", _figure11
+    ),
+    "figure12": Experiment(
+        "figure12", "Throttle interval/duration/obtained-CPU distributions", "repro.analysis.throttle", _figure12
+    ),
+    "table3": Experiment(
+        "table3", "Inferred provider scheduling parameters", "repro.analysis.throttle", _table3
+    ),
+    "exploit": Experiment(
+        "exploit", "Intermittent-execution and keep-alive exploits", "repro.analysis.exploit", _exploit
+    ),
+}
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> List[Mapping[str, object]]:
+    """Run one experiment by id and return its result rows."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment {experiment_id!r}; valid: {list(EXPERIMENTS)}") from None
+    return experiment.runner()

@@ -1,0 +1,76 @@
+"""Figure 2: billable resources versus actual consumption under different billing models."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.billing.catalog import PlatformName
+from repro.billing.inflation import FIGURE2_PLATFORMS, InflationAnalyzer
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+from repro.traces.schema import Trace
+from repro.traces.statistics import cdf_points
+
+__all__ = ["figure2_summary", "figure2_cdf_series", "default_trace"]
+
+#: Paper-reported mean inflation factors (billable / actual), for EXPERIMENTS.md.
+PAPER_INFLATION = {
+    "cloudflare_workers": {"cpu": 1.01},
+    "gcp_run_request": {"cpu": 3.63, "memory": 4.35},
+    "azure_consumption": {"memory": 1.57},
+    "aws_lambda": {"cpu": 2.49, "memory": 2.72},
+}
+
+
+def default_trace(num_requests: int = 20_000, seed: int = 2026) -> Trace:
+    """The synthetic Huawei-like trace every §2 analysis uses by default."""
+    config = TraceGeneratorConfig(num_requests=num_requests, num_functions=200, seed=seed)
+    return TraceGenerator(config).generate()
+
+
+def figure2_summary(
+    trace: Optional[Trace] = None,
+    platforms: Sequence[PlatformName] = FIGURE2_PLATFORMS,
+) -> List[Dict[str, float]]:
+    """Mean billable-over-actual inflation per platform (the Figure 2 headline numbers)."""
+    trace = trace if trace is not None else default_trace()
+    analyzer = InflationAnalyzer(platforms)
+    rows: List[Dict[str, float]] = []
+    for platform, result in analyzer.analyze(trace).items():
+        paper = PAPER_INFLATION.get(platform.value, {})
+        rows.append(
+            {
+                "platform": platform.value,
+                "cpu_inflation": result.aggregate_cpu_inflation,
+                "memory_inflation": result.aggregate_memory_inflation,
+                "paper_cpu_inflation": paper.get("cpu", float("nan")),
+                "paper_memory_inflation": paper.get("memory", float("nan")),
+                "num_requests": float(len(result.billable_cpu_seconds)),
+            }
+        )
+    return rows
+
+
+def figure2_cdf_series(
+    trace: Optional[Trace] = None,
+    platforms: Sequence[PlatformName] = FIGURE2_PLATFORMS,
+    num_points: int = 50,
+) -> Dict[str, Dict[str, List]]:
+    """The CDF series of Figure 2: billable vCPU-seconds and GB-seconds per platform.
+
+    Returns ``{"cpu": {label: [(value, prob), ...]}, "memory": {...}}`` with an
+    extra ``actual_usage`` series in each group, matching the figure's legend.
+    """
+    trace = trace if trace is not None else default_trace()
+    analyzer = InflationAnalyzer(platforms)
+    results = analyzer.analyze(trace)
+    cpu_series: Dict[str, List] = {}
+    memory_series: Dict[str, List] = {}
+    first = next(iter(results.values()))
+    cpu_series["actual_usage"] = cdf_points(first.actual_cpu_seconds, num_points)
+    memory_series["actual_usage"] = cdf_points(first.actual_memory_gb_seconds, num_points)
+    for platform, result in results.items():
+        if any(v > 0 for v in result.billable_cpu_seconds):
+            cpu_series[platform.value] = cdf_points(result.billable_cpu_seconds, num_points)
+        if any(v > 0 for v in result.billable_memory_gb_seconds):
+            memory_series[platform.value] = cdf_points(result.billable_memory_gb_seconds, num_points)
+    return {"cpu": cpu_series, "memory": memory_series}

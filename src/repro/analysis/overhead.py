@@ -1,0 +1,69 @@
+"""Figure 8: serving-architecture overhead measured with a minimal function."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.platform.config import PlatformConfig
+from repro.platform.invoker import PlatformSimulator
+from repro.platform.presets import get_platform_preset
+from repro.workloads.functions import MINIMAL_FUNCTION, WorkloadSpec
+from repro.workloads.traffic import constant_rate_arrivals
+
+__all__ = ["figure8_overhead", "PAPER_FIG8"]
+
+#: Paper-reported mean execution durations of the minimal function (ms).
+PAPER_FIG8 = {
+    "aws_128mb": 1.17,
+    "aws_1769mb": 1.17,
+    "gcp_0.08vcpu": 5.93,
+    "gcp_1vcpu": 3.5,
+    "azure_consumption": 5.0,
+    "cloudflare_workers": 0.01,
+}
+
+#: The (label, preset name, vCPU allocation, memory GB) configurations of Figure 8.
+DEFAULT_CONFIGS: Sequence[Tuple[str, str, float, float]] = (
+    ("aws_128mb", "aws_lambda_like", 0.072, 0.125),
+    ("aws_1769mb", "aws_lambda_like", 1.0, 1.769),
+    ("gcp_0.08vcpu", "gcp_run_like", 0.08, 0.5),
+    ("gcp_1vcpu", "gcp_run_like", 1.0, 0.5),
+    ("azure_consumption", "azure_consumption_like", 1.0, 1.5),
+    ("cloudflare_workers", "cloudflare_workers_like", 1.0, 0.125),
+)
+
+
+def figure8_overhead(
+    workload: WorkloadSpec = MINIMAL_FUNCTION,
+    configs: Sequence[Tuple[str, str, float, float]] = DEFAULT_CONFIGS,
+    num_requests: int = 500,
+    rps: float = 2.0,
+    seed: int = 7,
+    platform_overrides: Optional[Dict[str, PlatformConfig]] = None,
+) -> List[Dict[str, float]]:
+    """Mean and p95 execution duration of the minimal function per platform configuration."""
+    rows: List[Dict[str, float]] = []
+    for label, preset_name, vcpus, memory_gb in configs:
+        preset = (platform_overrides or {}).get(preset_name) or get_platform_preset(preset_name)
+        function = workload.to_function_config(vcpus, memory_gb, init_duration_s=0.5)
+        simulator = PlatformSimulator(preset, function, seed=seed)
+        arrivals = constant_rate_arrivals(rps, num_requests / rps)
+        metrics = simulator.run(arrivals)
+        # Warm requests only: the figure reports execution duration, which does
+        # not include initialisation, and the paper sends steady probe traffic.
+        durations = [r.execution_duration_s for r in metrics.requests if not r.cold_start]
+        if not durations:
+            durations = metrics.execution_durations_s()
+        rows.append(
+            {
+                "configuration": label,
+                "architecture": preset.architecture.value,
+                "mean_duration_ms": float(np.mean(durations)) * 1e3,
+                "p95_duration_ms": float(np.quantile(durations, 0.95)) * 1e3,
+                "paper_mean_ms": PAPER_FIG8.get(label, float("nan")),
+                "num_requests": float(len(durations)),
+            }
+        )
+    return rows

@@ -1,0 +1,58 @@
+"""Figure 11: theoretical execution durations under different bandwidth-control periods."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sched.analytical import theoretical_duration_series
+
+__all__ = ["figure11_series", "figure11_summary", "HUAWEI_MEAN_CPU_TIME_S", "DEFAULT_PERIODS_MS"]
+
+#: The Huawei-trace mean CPU time the paper plugs into Equation (2) (51.8 ms).
+HUAWEI_MEAN_CPU_TIME_S = 0.0518
+
+#: Bandwidth-control periods plotted in Figure 11 (5 ms to 100 ms).
+DEFAULT_PERIODS_MS: Sequence[float] = (5.0, 10.0, 20.0, 40.0, 80.0, 100.0)
+
+
+def figure11_series(
+    cpu_time_s: float = HUAWEI_MEAN_CPU_TIME_S,
+    periods_ms: Sequence[float] = DEFAULT_PERIODS_MS,
+    vcpu_fractions: Sequence[float] = tuple(np.round(np.arange(0.05, 1.0001, 0.01), 4)),
+) -> List[Dict[str, float]]:
+    """The Figure 11 series: duration versus allocation for every studied period."""
+    rows: List[Dict[str, float]] = []
+    for period_ms in periods_ms:
+        rows.extend(theoretical_duration_series(cpu_time_s, period_ms * 1e-3, vcpu_fractions))
+    return rows
+
+
+def figure11_summary(rows: List[Dict[str, float]]) -> List[Dict[str, float]]:
+    """Per-period summary: deviation from the ideal reciprocal duration.
+
+    Equation (2) never exceeds the ideal reciprocal duration (the remainder of
+    the last period runs at full speed), so the deviation is reported as an
+    absolute value: shorter periods track the ideal curve closely while longer
+    periods show the pronounced quantization the figure illustrates.
+    """
+    out: List[Dict[str, float]] = []
+    periods = sorted({row["period_ms"] for row in rows})
+    for period_ms in periods:
+        period_rows = [r for r in rows if r["period_ms"] == period_ms]
+        deviation = [abs(r["duration_ms"] - r["ideal_duration_ms"]) for r in period_rows]
+        ratio = [
+            r["duration_ms"] / r["ideal_duration_ms"]
+            for r in period_rows
+            if r["ideal_duration_ms"] > 0
+        ]
+        out.append(
+            {
+                "period_ms": period_ms,
+                "mean_abs_deviation_ms": float(np.mean(deviation)),
+                "max_abs_deviation_ms": float(np.max(deviation)),
+                "mean_duration_ratio": float(np.mean(ratio)),
+            }
+        )
+    return out

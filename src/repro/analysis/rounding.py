@@ -1,0 +1,144 @@
+"""Figure 5: invocation-fee equivalents and rounded-up billable time / memory.
+
+Left panel: the fixed invocation fee expressed as equivalent billable
+wall-clock milliseconds at different vCPU/memory allocations (96 ms for a
+128 MB AWS Lambda function).  Right panels: the distribution of rounded-up
+wall-clock time and billable memory for requests with at least 1 ms of
+execution, under 100 ms granularity, 1 ms granularity with a 100 ms minimum
+cutoff, and 128 MB memory granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.inflation import default_trace
+from repro.billing.calculator import BillingCalculator
+from repro.billing.catalog import PlatformName
+from repro.billing.units import MB, round_up
+from repro.traces.schema import Trace
+from repro.traces.statistics import cdf_points
+
+__all__ = [
+    "figure5_invocation_fee_equivalents",
+    "figure5_rounding_summary",
+    "figure5_rounding_cdf_series",
+    "PAPER_ROUNDING_MEANS",
+]
+
+#: Paper-reported means for the rounding analysis.
+PAPER_ROUNDING_MEANS = {
+    "rounded_time_100ms_gran_ms": 77.12,
+    "rounded_time_1ms_gran_100ms_cutoff_ms": 61.35,
+    "rounded_memory_128mb_gran_gb_s": 2.67e-2,
+    "mean_execution_ms": 58.19,
+    "mean_billable_memory_gb_s": 2.75e-2,
+}
+
+#: The allocation sweep of the left panel, expressed in vCPUs (AWS maps memory
+#: to vCPUs proportionally; other platforms use their own mapping).
+DEFAULT_VCPU_SWEEP: Sequence[float] = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+#: Platforms shown in the left panel of Figure 5.
+FEE_PLATFORMS: Sequence[PlatformName] = (
+    PlatformName.AWS_LAMBDA,
+    PlatformName.GCP_RUN_REQUEST,
+    PlatformName.AZURE_CONSUMPTION,
+    PlatformName.IBM_CODE_ENGINE,
+    PlatformName.CLOUDFLARE_WORKERS,
+    PlatformName.HUAWEI_FUNCTIONGRAPH,
+)
+
+
+def figure5_invocation_fee_equivalents(
+    vcpu_sweep: Sequence[float] = DEFAULT_VCPU_SWEEP,
+    platforms: Sequence[PlatformName] = FEE_PLATFORMS,
+) -> List[Dict[str, float]]:
+    """Invocation fee expressed as equivalent billable wall-clock time (Figure 5, left)."""
+    rows: List[Dict[str, float]] = []
+    for platform in platforms:
+        calculator = BillingCalculator(platform)
+        for vcpus in vcpu_sweep:
+            memory_gb = vcpus * (1769.0 / 1024.0)
+            equivalent_ms = calculator.invocation_fee_equivalent_ms(vcpus, memory_gb)
+            rows.append(
+                {
+                    "platform": platform.value,
+                    "vcpu_allocation": vcpus,
+                    "memory_gb": memory_gb,
+                    "fee_equivalent_ms": equivalent_ms,
+                }
+            )
+    return rows
+
+
+def _rounding_values(trace: Trace) -> Dict[str, List[float]]:
+    """Per-request rounded-up billable time and memory under the studied granularities."""
+    requests = [r for r in trace.exclude_zero_cpu().requests if r.duration_s >= 1e-3]
+    time_100ms: List[float] = []
+    time_1ms_cutoff: List[float] = []
+    memory_128mb: List[float] = []
+    for record in requests:
+        time_100ms.append(round_up(record.duration_s, 0.1))
+        time_1ms_cutoff.append(max(round_up(record.duration_s, 1e-3), 0.1))
+        billable_time = max(round_up(record.duration_s, 1e-3), 0.1)
+        memory_128mb.append(round_up(record.usage.memory_gb, 128 * MB) * billable_time)
+    return {
+        "rounded_time_100ms_gran_s": time_100ms,
+        "rounded_time_1ms_gran_100ms_cutoff_s": time_1ms_cutoff,
+        "rounded_memory_128mb_gran_gb_s": memory_128mb,
+        "raw_execution_s": [r.duration_s for r in requests],
+        "raw_memory_gb_s": [r.usage.memory_gb * r.duration_s for r in requests],
+    }
+
+
+def figure5_rounding_summary(trace: Optional[Trace] = None) -> List[Dict[str, float]]:
+    """Mean rounded-up billable time and memory (the Figure 5 headline numbers)."""
+    trace = trace if trace is not None else default_trace()
+    values = _rounding_values(trace)
+
+    def mean(xs: List[float]) -> float:
+        return sum(xs) / len(xs) if xs else float("nan")
+
+    return [
+        {
+            "metric": "rounded_time_100ms_gran_ms",
+            "measured": mean(values["rounded_time_100ms_gran_s"]) * 1e3,
+            "paper": PAPER_ROUNDING_MEANS["rounded_time_100ms_gran_ms"],
+        },
+        {
+            "metric": "rounded_time_1ms_gran_100ms_cutoff_ms",
+            "measured": mean(values["rounded_time_1ms_gran_100ms_cutoff_s"]) * 1e3,
+            "paper": PAPER_ROUNDING_MEANS["rounded_time_1ms_gran_100ms_cutoff_ms"],
+        },
+        {
+            "metric": "rounded_memory_128mb_gran_gb_s",
+            "measured": mean(values["rounded_memory_128mb_gran_gb_s"]),
+            "paper": PAPER_ROUNDING_MEANS["rounded_memory_128mb_gran_gb_s"],
+        },
+        {
+            "metric": "mean_execution_ms",
+            "measured": mean(values["raw_execution_s"]) * 1e3,
+            "paper": PAPER_ROUNDING_MEANS["mean_execution_ms"],
+        },
+        {
+            "metric": "mean_billable_memory_gb_s",
+            "measured": mean(values["raw_memory_gb_s"]),
+            "paper": PAPER_ROUNDING_MEANS["mean_billable_memory_gb_s"],
+        },
+    ]
+
+
+def figure5_rounding_cdf_series(trace: Optional[Trace] = None, num_points: int = 50) -> Dict[str, List]:
+    """The CDF series of the right-hand panels of Figure 5."""
+    trace = trace if trace is not None else default_trace()
+    values = _rounding_values(trace)
+    return {
+        "rounded_time_100ms_gran_s": cdf_points(values["rounded_time_100ms_gran_s"], num_points),
+        "rounded_time_1ms_gran_100ms_cutoff_s": cdf_points(
+            values["rounded_time_1ms_gran_100ms_cutoff_s"], num_points
+        ),
+        "rounded_memory_128mb_gran_gb_s": cdf_points(
+            values["rounded_memory_128mb_gran_gb_s"], num_points
+        ),
+    }

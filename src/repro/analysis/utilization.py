@@ -1,0 +1,71 @@
+"""Figure 3: resource utilisation rate distributions and their correlation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.inflation import default_trace
+from repro.traces.schema import Trace
+from repro.traces.statistics import cdf_points, pearson_correlation, spearman_correlation
+
+__all__ = ["figure3_summary", "figure3_cdf_series", "utilization_scatter"]
+
+#: Paper-reported values for EXPERIMENTS.md.
+PAPER_VALUES = {
+    "cpu_below_half_fraction": 0.65,
+    "memory_below_half_fraction": 0.76,
+    "pearson": 0.552,
+    "spearman": 0.565,
+}
+
+
+def figure3_summary(trace: Optional[Trace] = None) -> List[Dict[str, float]]:
+    """Headline utilisation statistics: fractions below 50% and the two correlations."""
+    trace = trace if trace is not None else default_trace()
+    requests = trace.exclude_zero_cpu().requests
+    cpu_utils = [r.cpu_utilization for r in requests]
+    mem_utils = [r.memory_utilization for r in requests]
+    n = len(requests)
+    return [
+        {
+            "metric": "cpu_below_half_fraction",
+            "measured": sum(1 for u in cpu_utils if u < 0.5) / n,
+            "paper": PAPER_VALUES["cpu_below_half_fraction"],
+        },
+        {
+            "metric": "memory_below_half_fraction",
+            "measured": sum(1 for u in mem_utils if u < 0.5) / n,
+            "paper": PAPER_VALUES["memory_below_half_fraction"],
+        },
+        {
+            "metric": "pearson",
+            "measured": pearson_correlation(cpu_utils, mem_utils),
+            "paper": PAPER_VALUES["pearson"],
+        },
+        {
+            "metric": "spearman",
+            "measured": spearman_correlation(cpu_utils, mem_utils),
+            "paper": PAPER_VALUES["spearman"],
+        },
+    ]
+
+
+def figure3_cdf_series(trace: Optional[Trace] = None, num_points: int = 50) -> Dict[str, List]:
+    """The utilisation-rate CDFs of Figure 3 (left panel)."""
+    trace = trace if trace is not None else default_trace()
+    requests = trace.exclude_zero_cpu().requests
+    return {
+        "cpu_utilization": cdf_points([r.cpu_utilization for r in requests], num_points),
+        "memory_utilization": cdf_points([r.memory_utilization for r in requests], num_points),
+    }
+
+
+def utilization_scatter(trace: Optional[Trace] = None, sample: int = 2000) -> List[Dict[str, float]]:
+    """A down-sampled CPU-versus-memory utilisation scatter (Figure 3 right panel)."""
+    trace = trace if trace is not None else default_trace()
+    requests = trace.exclude_zero_cpu().requests
+    step = max(len(requests) // sample, 1)
+    return [
+        {"cpu_utilization": r.cpu_utilization, "memory_utilization": r.memory_utilization}
+        for r in requests[::step]
+    ]

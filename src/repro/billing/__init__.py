@@ -1,0 +1,76 @@
+"""Serverless billing models, pricing catalog, and cost calculation (paper §2).
+
+This package implements the generalised pay-per-use billing model of the
+paper's Equation (1):
+
+.. math::
+
+    Cost = \\sum_{r \\in R_{ALLOC}} \\lceil ALLOC(r)/G_r \\rceil G_r
+           \\cdot \\lceil T/G_T \\rceil G_T \\cdot C_r
+         + \\sum_{r \\in R_{USG}} \\lceil USG(r)/G_r \\rceil G_r \\cdot C_r
+         + C_0
+
+together with the per-platform instantiations of Table 1 (billable time
+notion, billable resources, granularities, minimum cutoffs and invocation
+fees) and the per-unit prices shown in Figure 1.
+"""
+
+from repro.billing.units import (
+    GB,
+    MB,
+    MILLISECONDS,
+    Resource,
+    ResourceKind,
+    round_up,
+)
+from repro.billing.models import (
+    AllocationBilledResource,
+    BillableTime,
+    BillingModel,
+    BillLineItem,
+    Invoice,
+    UsageBilledResource,
+)
+from repro.billing.catalog import (
+    PLATFORM_BILLING_MODELS,
+    PlatformName,
+    get_billing_model,
+    list_platforms,
+)
+from repro.billing.pricing import (
+    PLATFORM_PRICES,
+    PlatformPrice,
+    NON_SERVERLESS_PRICES,
+    aws_lambda_price_per_second,
+    price_comparison_vs_vm,
+)
+from repro.billing.calculator import BillingCalculator, InvocationBillingInput
+from repro.billing.inflation import InflationAnalyzer, InflationResult
+
+__all__ = [
+    "GB",
+    "MB",
+    "MILLISECONDS",
+    "Resource",
+    "ResourceKind",
+    "round_up",
+    "AllocationBilledResource",
+    "UsageBilledResource",
+    "BillableTime",
+    "BillingModel",
+    "BillLineItem",
+    "Invoice",
+    "PLATFORM_BILLING_MODELS",
+    "PlatformName",
+    "get_billing_model",
+    "list_platforms",
+    "PLATFORM_PRICES",
+    "PlatformPrice",
+    "NON_SERVERLESS_PRICES",
+    "aws_lambda_price_per_second",
+    "price_comparison_vs_vm",
+    "BillingCalculator",
+    "InvocationBillingInput",
+    "InflationAnalyzer",
+    "InflationResult",
+]

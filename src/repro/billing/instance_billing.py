@@ -1,0 +1,146 @@
+"""Request-based versus instance-based billing analysis (paper §2.1 and §2.4).
+
+Most platforms let users switch to instance-based billing (provisioned
+concurrency, minimum instances, or a scale-down delay): the provider then
+charges for resource allocation over the whole instance lifespan regardless of
+requests, usually without the per-invocation fee.  The paper notes this "can
+further increase billable resources under bursty traffic patterns since
+scale-down-to-zero is delayed or disabled and instance idle time is billed".
+
+This module computes the break-even utilisation: the fraction of wall-clock
+time a provisioned instance must spend executing requests for instance-based
+billing to become cheaper than request-based billing for the same traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.billing.calculator import BillingCalculator, InvocationBillingInput
+from repro.billing.catalog import PlatformName
+from repro.billing.units import ResourceKind
+
+__all__ = ["InstanceBillingComparison", "compare_request_vs_instance_billing", "break_even_utilization"]
+
+
+@dataclass(frozen=True)
+class InstanceBillingComparison:
+    """Cost of serving a traffic pattern under request-based vs instance-based billing."""
+
+    request_based_platform: str
+    instance_based_platform: str
+    requests_per_hour: float
+    mean_execution_s: float
+    request_based_cost_per_hour: float
+    instance_based_cost_per_hour: float
+    instance_utilization: float
+
+    @property
+    def instance_billing_cheaper(self) -> bool:
+        return self.instance_based_cost_per_hour < self.request_based_cost_per_hour
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "requests_per_hour": self.requests_per_hour,
+            "instance_utilization": self.instance_utilization,
+            "request_based_cost_per_hour": self.request_based_cost_per_hour,
+            "instance_based_cost_per_hour": self.instance_based_cost_per_hour,
+            "instance_billing_cheaper": float(self.instance_billing_cheaper),
+        }
+
+
+def compare_request_vs_instance_billing(
+    requests_per_hour: float,
+    mean_execution_s: float,
+    alloc_vcpus: float,
+    alloc_memory_gb: float,
+    used_cpu_seconds: Optional[float] = None,
+    used_memory_gb: Optional[float] = None,
+    num_instances: int = 1,
+    request_platform: "PlatformName | str" = PlatformName.GCP_RUN_REQUEST,
+    instance_platform: "PlatformName | str" = PlatformName.GCP_RUN_INSTANCE,
+) -> InstanceBillingComparison:
+    """Cost per hour of one always-on instance versus per-request billing for the same traffic."""
+    if requests_per_hour < 0 or mean_execution_s < 0:
+        raise ValueError("traffic parameters must be >= 0")
+    if num_instances < 1:
+        raise ValueError("num_instances must be >= 1")
+    used_cpu_seconds = used_cpu_seconds if used_cpu_seconds is not None else mean_execution_s * alloc_vcpus * 0.5
+    used_memory_gb = used_memory_gb if used_memory_gb is not None else alloc_memory_gb * 0.5
+
+    request_calc = BillingCalculator(request_platform)
+    per_request = request_calc.bill(
+        InvocationBillingInput(
+            execution_s=mean_execution_s,
+            init_s=0.0,
+            alloc_vcpus=alloc_vcpus,
+            alloc_memory_gb=alloc_memory_gb,
+            used_cpu_seconds=used_cpu_seconds,
+            used_memory_gb=used_memory_gb,
+        )
+    ).invoice.total
+    request_cost_per_hour = per_request * requests_per_hour
+
+    instance_calc = BillingCalculator(instance_platform)
+    instance_invoice = instance_calc.model.invoice(
+        execution_s=0.0,
+        allocations={ResourceKind.CPU: alloc_vcpus, ResourceKind.MEMORY: alloc_memory_gb},
+        usages={},
+        instance_s=3600.0,
+        include_invocation_fee=False,
+    )
+    instance_cost_per_hour = instance_invoice.total * num_instances
+
+    busy_seconds = requests_per_hour * mean_execution_s
+    utilization = min(busy_seconds / (3600.0 * num_instances), 1.0)
+    return InstanceBillingComparison(
+        request_based_platform=request_calc.model.platform,
+        instance_based_platform=instance_calc.model.platform,
+        requests_per_hour=requests_per_hour,
+        mean_execution_s=mean_execution_s,
+        request_based_cost_per_hour=request_cost_per_hour,
+        instance_based_cost_per_hour=instance_cost_per_hour,
+        instance_utilization=utilization,
+    )
+
+
+def break_even_utilization(
+    mean_execution_s: float,
+    alloc_vcpus: float,
+    alloc_memory_gb: float,
+    request_platform: "PlatformName | str" = PlatformName.GCP_RUN_REQUEST,
+    instance_platform: "PlatformName | str" = PlatformName.GCP_RUN_INSTANCE,
+    tolerance: float = 1e-4,
+) -> float:
+    """The instance utilisation above which instance-based billing becomes cheaper.
+
+    Found by bisection over the request rate; returns a value in (0, 1], or
+    ``inf`` when instance billing never wins (e.g. because the request-based
+    unit prices are lower and there is no fee to amortise).
+    """
+    if mean_execution_s <= 0:
+        raise ValueError("mean_execution_s must be positive")
+
+    def cheaper_at(requests_per_hour: float) -> bool:
+        comparison = compare_request_vs_instance_billing(
+            requests_per_hour,
+            mean_execution_s,
+            alloc_vcpus,
+            alloc_memory_gb,
+            request_platform=request_platform,
+            instance_platform=instance_platform,
+        )
+        return comparison.instance_billing_cheaper
+
+    max_rate = 3600.0 / mean_execution_s  # rate at which one instance is 100% utilised
+    if not cheaper_at(max_rate):
+        return float("inf")
+    low, high = 0.0, max_rate
+    while high - low > tolerance * max_rate:
+        middle = (low + high) / 2.0
+        if cheaper_at(middle):
+            high = middle
+        else:
+            low = middle
+    return min(high * mean_execution_s / 3600.0, 1.0)

@@ -1,0 +1,300 @@
+"""The generalised serverless billing model (paper Equation 1).
+
+A :class:`BillingModel` is composed of:
+
+- a notion of billable wall-clock time (execution time, turnaround time, or
+  instance lifespan) with a time granularity and optional minimum cutoff,
+- a set of allocation-billed resources (billed as ``allocation x billable time``,
+  each with its own granularity, e.g. AWS memory in 1 MB steps),
+- a set of usage-billed resources (billed on absolute consumption, e.g.
+  Cloudflare's consumed CPU time),
+- a fixed per-invocation fee.
+
+The model exposes both *billable resource* computation (vCPU-seconds and
+GB-seconds before prices are applied -- what the paper's Figure 2 plots) and
+monetary cost computation (an :class:`Invoice` with per-line items).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.billing.units import ResourceKind, apply_minimum, round_up
+
+__all__ = [
+    "BillableTime",
+    "AllocationBilledResource",
+    "UsageBilledResource",
+    "BillLineItem",
+    "Invoice",
+    "BillingModel",
+]
+
+
+class BillableTime(str, enum.Enum):
+    """Which wall-clock duration a platform bills for (paper Table 1)."""
+
+    #: Execution duration only (e.g. Azure Consumption, Huawei, Alibaba).
+    EXECUTION = "execution"
+    #: Execution plus initialisation/cold-start duration (e.g. GCP, IBM, AWS since 2025-08).
+    TURNAROUND = "turnaround"
+    #: Whole runtime instance lifespan regardless of requests (instance-based billing).
+    INSTANCE = "instance"
+    #: Consumed CPU time rather than wall-clock time (Cloudflare Workers).
+    CPU_TIME = "cpu_time"
+
+
+@dataclass(frozen=True)
+class AllocationBilledResource:
+    """A resource billed as (rounded allocation) x (rounded billable time).
+
+    Attributes:
+        kind: which resource (CPU or memory).
+        granularity: allocation rounding step in the resource's native unit
+            (vCPUs or GB); ``0`` disables rounding.
+        unit_price: price per resource-unit-second (e.g. $ per GB-second).
+        use_consumption: bill the *measured average consumption* over the
+            billable window instead of the configured allocation.  This models
+            Azure Functions Consumption, which charges for observed memory
+            (rounded to 128 MB) multiplied by execution time rather than for a
+            configured memory size.
+    """
+
+    kind: ResourceKind
+    granularity: float = 0.0
+    unit_price: float = 0.0
+    use_consumption: bool = False
+
+    def billable_amount(self, allocation: float) -> float:
+        """Round an allocation (or consumption) amount up to the billing granularity."""
+        return round_up(allocation, self.granularity)
+
+
+@dataclass(frozen=True)
+class UsageBilledResource:
+    """A resource billed on absolute consumption over the billable window."""
+
+    kind: ResourceKind
+    granularity: float = 0.0
+    unit_price: float = 0.0
+
+    def billable_amount(self, usage: float) -> float:
+        """Round a usage amount up to the billing granularity."""
+        return round_up(usage, self.granularity)
+
+
+@dataclass(frozen=True)
+class BillLineItem:
+    """One line of an invoice: a billable quantity and its monetary charge."""
+
+    label: str
+    quantity: float
+    unit: str
+    unit_price: float
+    charge: float
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """The monetary outcome of billing one invocation (or one instance window)."""
+
+    platform: str
+    line_items: Sequence[BillLineItem]
+
+    @property
+    def total(self) -> float:
+        return sum(item.charge for item in self.line_items)
+
+    def charge_for(self, label_prefix: str) -> float:
+        """Sum the charges of line items whose label starts with ``label_prefix``."""
+        return sum(item.charge for item in self.line_items if item.label.startswith(label_prefix))
+
+    def as_dict(self) -> Dict[str, float]:
+        result = {item.label: item.charge for item in self.line_items}
+        result["total"] = self.total
+        return result
+
+
+@dataclass(frozen=True)
+class BillingModel:
+    """A platform's pay-per-use billing model (one row of the paper's Table 1)."""
+
+    platform: str
+    billable_time: BillableTime
+    #: Wall-clock (or CPU-time) billing granularity in seconds; 0 disables rounding.
+    time_granularity_s: float = 0.0
+    #: Minimum billable duration in seconds (e.g. Azure Consumption's 100 ms cutoff).
+    minimum_time_s: float = 0.0
+    #: Resources billed as allocation x time.
+    allocation_resources: Sequence[AllocationBilledResource] = field(default_factory=tuple)
+    #: Resources billed on absolute usage.
+    usage_resources: Sequence[UsageBilledResource] = field(default_factory=tuple)
+    #: Fixed fee charged per invocation (C_0 in Equation 1).
+    invocation_fee: float = 0.0
+    #: True when CPU is not billed separately but embedded in the memory price
+    #: (proportional-allocation platforms such as AWS Lambda and Vercel).
+    cpu_embedded_in_memory: bool = False
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time_granularity_s < 0 or self.minimum_time_s < 0:
+            raise ValueError("time granularity and minimum must be >= 0")
+        if self.invocation_fee < 0:
+            raise ValueError("invocation fee must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Billable time
+    # ------------------------------------------------------------------
+
+    def billable_seconds(
+        self,
+        execution_s: float,
+        init_s: float = 0.0,
+        instance_s: Optional[float] = None,
+        cpu_time_s: float = 0.0,
+    ) -> float:
+        """Compute the billable duration after granularity rounding and cutoffs.
+
+        Args:
+            execution_s: request execution wall-clock duration.
+            init_s: initialisation (cold start) duration of this invocation.
+            instance_s: instance lifespan for instance-billed platforms.
+            cpu_time_s: consumed CPU time, for CPU-time-billed platforms.
+        """
+        if self.billable_time is BillableTime.EXECUTION:
+            raw = execution_s
+        elif self.billable_time is BillableTime.TURNAROUND:
+            raw = execution_s + init_s
+        elif self.billable_time is BillableTime.INSTANCE:
+            if instance_s is None:
+                raise ValueError("instance_s is required for instance-based billing")
+            raw = instance_s
+        elif self.billable_time is BillableTime.CPU_TIME:
+            raw = cpu_time_s
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown billable time {self.billable_time}")
+        rounded = round_up(raw, self.time_granularity_s)
+        return apply_minimum(rounded, self.minimum_time_s)
+
+    # ------------------------------------------------------------------
+    # Billable resources (paper Figure 2's quantities)
+    # ------------------------------------------------------------------
+
+    def billable_resources(
+        self,
+        execution_s: float,
+        allocations: Mapping[ResourceKind, float],
+        usages: Optional[Mapping[ResourceKind, float]] = None,
+        init_s: float = 0.0,
+        instance_s: Optional[float] = None,
+        cpu_time_s: float = 0.0,
+    ) -> Dict[ResourceKind, float]:
+        """Compute the billable resource quantities (resource-unit-seconds) per kind.
+
+        For allocation-billed resources the quantity is
+        ``ceil(alloc / G_r) * G_r * billable_time``; for usage-billed resources
+        it is the rounded consumption.  Quantities of the same kind coming from
+        both groups are summed (no current platform does that, but the model
+        allows it).
+        """
+        usages = usages or {}
+        billable_time = self.billable_seconds(
+            execution_s=execution_s, init_s=init_s, instance_s=instance_s, cpu_time_s=cpu_time_s
+        )
+        out: Dict[ResourceKind, float] = {}
+        for resource in self.allocation_resources:
+            if resource.use_consumption:
+                allocation = usages.get(resource.kind, 0.0)
+            else:
+                allocation = allocations.get(resource.kind, 0.0)
+            quantity = resource.billable_amount(allocation) * billable_time
+            out[resource.kind] = out.get(resource.kind, 0.0) + quantity
+        for resource in self.usage_resources:
+            usage = usages.get(resource.kind, 0.0)
+            quantity = resource.billable_amount(usage)
+            out[resource.kind] = out.get(resource.kind, 0.0) + quantity
+        return out
+
+    # ------------------------------------------------------------------
+    # Monetary cost (Equation 1 in full)
+    # ------------------------------------------------------------------
+
+    def invoice(
+        self,
+        execution_s: float,
+        allocations: Mapping[ResourceKind, float],
+        usages: Optional[Mapping[ResourceKind, float]] = None,
+        init_s: float = 0.0,
+        instance_s: Optional[float] = None,
+        cpu_time_s: float = 0.0,
+        include_invocation_fee: bool = True,
+    ) -> Invoice:
+        """Produce a full invoice for one invocation.
+
+        ``include_invocation_fee`` can be disabled to model instance-based
+        billing where the fixed per-request fee usually does not apply.
+        """
+        usages = usages or {}
+        billable_time = self.billable_seconds(
+            execution_s=execution_s, init_s=init_s, instance_s=instance_s, cpu_time_s=cpu_time_s
+        )
+        items: List[BillLineItem] = []
+        for resource in self.allocation_resources:
+            if resource.use_consumption:
+                allocation = usages.get(resource.kind, 0.0)
+            else:
+                allocation = allocations.get(resource.kind, 0.0)
+            rounded_alloc = resource.billable_amount(allocation)
+            quantity = rounded_alloc * billable_time
+            items.append(
+                BillLineItem(
+                    label=f"alloc:{resource.kind.value}",
+                    quantity=quantity,
+                    unit=f"{resource.kind.value}-seconds",
+                    unit_price=resource.unit_price,
+                    charge=quantity * resource.unit_price,
+                )
+            )
+        for resource in self.usage_resources:
+            usage = usages.get(resource.kind, 0.0)
+            quantity = resource.billable_amount(usage)
+            items.append(
+                BillLineItem(
+                    label=f"usage:{resource.kind.value}",
+                    quantity=quantity,
+                    unit=f"{resource.kind.value}-seconds",
+                    unit_price=resource.unit_price,
+                    charge=quantity * resource.unit_price,
+                )
+            )
+        if include_invocation_fee and self.invocation_fee > 0:
+            items.append(
+                BillLineItem(
+                    label="invocation_fee",
+                    quantity=1.0,
+                    unit="requests",
+                    unit_price=self.invocation_fee,
+                    charge=self.invocation_fee,
+                )
+            )
+        return Invoice(platform=self.platform, line_items=tuple(items))
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the catalog / Table 1 bench
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """A flat description of the model, one row of the paper's Table 1."""
+        return {
+            "platform": self.platform,
+            "billable_time": self.billable_time.value,
+            "time_granularity_ms": self.time_granularity_s * 1e3,
+            "minimum_time_ms": self.minimum_time_s * 1e3,
+            "allocation_resources": [r.kind.value for r in self.allocation_resources],
+            "usage_resources": [r.kind.value for r in self.usage_resources],
+            "invocation_fee_usd": self.invocation_fee,
+            "cpu_embedded_in_memory": self.cpu_embedded_in_memory,
+            "notes": self.notes,
+        }

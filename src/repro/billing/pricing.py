@@ -1,0 +1,232 @@
+"""Per-unit resource prices (paper Figure 1) and the §1 serverless-vs-VM comparison.
+
+The paper plots each platform's effective vCPU-second and GB-second prices and
+observes (I1) that per-unit prices are broadly similar across providers and a
+factor ~2-2.5x above VM / container-hosting prices for the same hardware.  For
+memory-based-billing platforms (AWS, Huawei, Azure Consumption, Oracle, Vercel)
+the CPU cost is embedded in the memory price; this module also provides a
+decomposition that splits the embedded price using the industry-consensus
+CPU:memory value ratio of ~9.1-9.64 the paper derives in §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.billing.catalog import (
+    ALIBABA_CPU_PRICE,
+    ALIBABA_MEMORY_PRICE,
+    AWS_LAMBDA_MEMORY_PRICE,
+    AZURE_CONSUMPTION_MEMORY_PRICE,
+    AZURE_FLEX_MEMORY_PRICE,
+    AZURE_PREMIUM_CPU_PRICE,
+    AZURE_PREMIUM_MEMORY_PRICE,
+    CLOUDFLARE_CPU_PRICE,
+    GCP_CPU_PRICE,
+    GCP_INSTANCE_CPU_PRICE,
+    GCP_INSTANCE_MEMORY_PRICE,
+    GCP_MEMORY_PRICE,
+    HUAWEI_MEMORY_PRICE,
+    IBM_CPU_PRICE,
+    IBM_MEMORY_PRICE,
+    ORACLE_MEMORY_PRICE,
+    PlatformName,
+    VERCEL_MEMORY_PRICE,
+)
+
+__all__ = [
+    "PlatformPrice",
+    "PLATFORM_PRICES",
+    "NON_SERVERLESS_PRICES",
+    "CPU_TO_MEMORY_VALUE_RATIO",
+    "VCPU_EQUIVALENT_MEMORY_GB",
+    "aws_lambda_price_per_second",
+    "decompose_memory_embedded_price",
+    "price_comparison_vs_vm",
+]
+
+#: Memory size AWS maps to one full vCPU (1,769 MB), used to convert
+#: memory-embedded prices into per-vCPU equivalents.
+VCPU_EQUIVALENT_MEMORY_GB: float = 1769.0 / 1024.0
+
+#: Industry-consensus relative value of a vCPU-second versus a GB-second,
+#: derived in §2.2 from GCP, AWS Fargate and IBM prices (range 9-9.64).
+CPU_TO_MEMORY_VALUE_RATIO: float = 9.3
+
+
+@dataclass(frozen=True)
+class PlatformPrice:
+    """Effective per-unit prices of one platform (Figure 1 data point).
+
+    ``cpu_per_vcpu_second`` is zero for platforms that embed CPU in the memory
+    price; use :func:`decompose_memory_embedded_price` to split it.
+    """
+
+    platform: PlatformName
+    cpu_per_vcpu_second: float
+    memory_per_gb_second: float
+    invocation_fee: float
+    memory_based_billing: bool
+
+    @property
+    def effective_price_1vcpu_1769mb(self) -> float:
+        """Price per second of a 1 vCPU + 1,769 MB function (the paper's §2.2 yardstick)."""
+        if self.memory_based_billing:
+            return self.memory_per_gb_second * VCPU_EQUIVALENT_MEMORY_GB
+        return self.cpu_per_vcpu_second * 1.0 + self.memory_per_gb_second * VCPU_EQUIVALENT_MEMORY_GB
+
+
+PLATFORM_PRICES: Dict[PlatformName, PlatformPrice] = {
+    PlatformName.AWS_LAMBDA: PlatformPrice(
+        PlatformName.AWS_LAMBDA, 0.0, AWS_LAMBDA_MEMORY_PRICE, 2.0e-7, True
+    ),
+    PlatformName.GCP_RUN_REQUEST: PlatformPrice(
+        PlatformName.GCP_RUN_REQUEST, GCP_CPU_PRICE, GCP_MEMORY_PRICE, 4.0e-7, False
+    ),
+    PlatformName.GCP_RUN_INSTANCE: PlatformPrice(
+        PlatformName.GCP_RUN_INSTANCE, GCP_INSTANCE_CPU_PRICE, GCP_INSTANCE_MEMORY_PRICE, 0.0, False
+    ),
+    PlatformName.AZURE_CONSUMPTION: PlatformPrice(
+        PlatformName.AZURE_CONSUMPTION, 0.0, AZURE_CONSUMPTION_MEMORY_PRICE, 2.0e-7, True
+    ),
+    PlatformName.AZURE_PREMIUM: PlatformPrice(
+        PlatformName.AZURE_PREMIUM, AZURE_PREMIUM_CPU_PRICE, AZURE_PREMIUM_MEMORY_PRICE, 0.0, False
+    ),
+    PlatformName.AZURE_FLEX: PlatformPrice(
+        PlatformName.AZURE_FLEX, 0.0, AZURE_FLEX_MEMORY_PRICE, 4.0e-7, True
+    ),
+    PlatformName.IBM_CODE_ENGINE: PlatformPrice(
+        PlatformName.IBM_CODE_ENGINE, IBM_CPU_PRICE, IBM_MEMORY_PRICE, 0.0, False
+    ),
+    PlatformName.HUAWEI_FUNCTIONGRAPH: PlatformPrice(
+        PlatformName.HUAWEI_FUNCTIONGRAPH, 0.0, HUAWEI_MEMORY_PRICE, 2.0e-7, True
+    ),
+    PlatformName.ALIBABA_FC: PlatformPrice(
+        PlatformName.ALIBABA_FC, ALIBABA_CPU_PRICE, ALIBABA_MEMORY_PRICE, 1.5e-7, False
+    ),
+    PlatformName.ORACLE_FUNCTIONS: PlatformPrice(
+        PlatformName.ORACLE_FUNCTIONS, 0.0, ORACLE_MEMORY_PRICE, 2.0e-7, True
+    ),
+    PlatformName.VERCEL_FUNCTIONS: PlatformPrice(
+        PlatformName.VERCEL_FUNCTIONS, 0.0, VERCEL_MEMORY_PRICE, 6.0e-7, True
+    ),
+    PlatformName.CLOUDFLARE_WORKERS: PlatformPrice(
+        PlatformName.CLOUDFLARE_WORKERS, CLOUDFLARE_CPU_PRICE, 0.0, 3.0e-7, False
+    ),
+}
+
+
+@dataclass(frozen=True)
+class NonServerlessPrice:
+    """Per-second price of a non-serverless compute option (§1 comparison)."""
+
+    name: str
+    price_per_second: float
+    vcpus: float
+    memory_gb: float
+    description: str
+
+
+#: The §1 price comparison baselines: ARM hardware in us-east-2 (2025-05-15).
+NON_SERVERLESS_PRICES: Dict[str, NonServerlessPrice] = {
+    "aws_lambda_arm": NonServerlessPrice(
+        name="aws_lambda_arm",
+        price_per_second=2.3034e-5,
+        vcpus=1.0,
+        memory_gb=1769.0 / 1024.0,
+        description="AWS Lambda, 1 vCPU / 1,769 MB / 512 MB ephemeral storage (ARM)",
+    ),
+    "ec2_c6g_medium": NonServerlessPrice(
+        name="ec2_c6g_medium",
+        price_per_second=9.4753e-6,
+        vcpus=1.0,
+        memory_gb=2.0,
+        description="AWS EC2 c6g.medium, 1 vCPU / 2 GB / 1 GB storage (ARM)",
+    ),
+    "fargate_container": NonServerlessPrice(
+        name="fargate_container",
+        price_per_second=1.1003e-5,
+        vcpus=1.0,
+        memory_gb=2.0,
+        description="AWS Fargate container with the same allocation as the EC2 instance (ARM)",
+    ),
+}
+
+
+def aws_lambda_price_per_second(memory_gb: float, arm: bool = False) -> float:
+    """Per-second price of an AWS Lambda function with the given memory size.
+
+    The x86 GB-second price is used by default; the ARM price is roughly 20%
+    lower (the paper's §1 figure uses ARM for the cross-service comparison).
+    """
+    if memory_gb <= 0:
+        raise ValueError("memory_gb must be positive")
+    price = AWS_LAMBDA_MEMORY_PRICE * (0.8 if arm else 1.0)
+    return memory_gb * price
+
+
+def decompose_memory_embedded_price(
+    memory_per_gb_second: float,
+    ratio: float = CPU_TO_MEMORY_VALUE_RATIO,
+    vcpu_equivalent_memory_gb: float = VCPU_EQUIVALENT_MEMORY_GB,
+) -> Dict[str, float]:
+    """Split a memory-embedded price into implied CPU and memory unit prices.
+
+    Memory-based-billing platforms charge ``memory_per_gb_second`` for a bundle
+    of 1 GB of memory plus ``1/vcpu_equivalent_memory_gb`` vCPUs.  Using the
+    consensus value ratio ``r`` (vCPU-second worth ``r`` GB-seconds), solve::
+
+        bundle = mem_price + (1 / M) * cpu_price,  cpu_price = r * mem_price
+
+    Returns a dict with ``implied_cpu_per_vcpu_second`` and
+    ``implied_memory_per_gb_second``.
+    """
+    if memory_per_gb_second <= 0:
+        raise ValueError("memory_per_gb_second must be positive")
+    if ratio <= 0 or vcpu_equivalent_memory_gb <= 0:
+        raise ValueError("ratio and vcpu_equivalent_memory_gb must be positive")
+    memory_price = memory_per_gb_second / (1.0 + ratio / vcpu_equivalent_memory_gb)
+    cpu_price = ratio * memory_price
+    return {
+        "implied_cpu_per_vcpu_second": cpu_price,
+        "implied_memory_per_gb_second": memory_price,
+    }
+
+
+def price_comparison_vs_vm() -> Dict[str, float]:
+    """The §1 comparison: EC2 and Fargate prices as fractions of the Lambda price.
+
+    The paper reports 41.1% (EC2 c6g.medium) and 47.8% (Fargate) of the AWS
+    Lambda per-second price for the same ARM hardware.
+    """
+    lambda_price = NON_SERVERLESS_PRICES["aws_lambda_arm"].price_per_second
+    return {
+        "aws_lambda_arm_per_second": lambda_price,
+        "ec2_fraction_of_lambda": NON_SERVERLESS_PRICES["ec2_c6g_medium"].price_per_second / lambda_price,
+        "fargate_fraction_of_lambda": NON_SERVERLESS_PRICES["fargate_container"].price_per_second
+        / lambda_price,
+    }
+
+
+def figure1_series() -> List[Dict[str, float]]:
+    """The (cpu price, memory price) points of Figure 1, one row per platform."""
+    rows: List[Dict[str, float]] = []
+    for platform, price in PLATFORM_PRICES.items():
+        if price.memory_based_billing:
+            implied = decompose_memory_embedded_price(price.memory_per_gb_second)
+            cpu_price = implied["implied_cpu_per_vcpu_second"]
+            memory_price = implied["implied_memory_per_gb_second"]
+        else:
+            cpu_price = price.cpu_per_vcpu_second
+            memory_price = price.memory_per_gb_second
+        rows.append(
+            {
+                "platform": platform.value,
+                "cpu_per_vcpu_second": cpu_price,
+                "memory_per_gb_second": memory_price,
+                "memory_based_billing": float(price.memory_based_billing),
+                "invocation_fee": price.invocation_fee,
+            }
+        )
+    return rows

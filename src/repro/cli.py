@@ -1,0 +1,106 @@
+"""Command-line interface: run reproduced experiments and print their tables.
+
+Usage::
+
+    repro-serverless-costs list
+    repro-serverless-costs run figure2
+    repro-serverless-costs run all --format markdown
+    repro-serverless-costs trace --requests 50000 --output trace.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.analysis.experiments import EXPERIMENTS, list_experiments, run_experiment
+from repro.core.report import render_table, to_markdown_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serverless-costs",
+        description=(
+            "Reproduction of 'Demystifying Serverless Costs on Public Platforms' (EuroSys 2026): "
+            "run the per-figure/per-table experiments against the simulation substrates."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    list_parser = subparsers.add_parser("list", help="List reproduced experiments")
+    list_parser.set_defaults(command="list")
+
+    run_parser = subparsers.add_parser("run", help="Run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="Experiment id (see 'list') or 'all'")
+    run_parser.add_argument(
+        "--format", choices=("text", "markdown"), default="text", help="Output table format"
+    )
+
+    trace_parser = subparsers.add_parser("trace", help="Generate a synthetic Huawei-like trace")
+    trace_parser.add_argument("--requests", type=int, default=50_000, help="Number of requests")
+    trace_parser.add_argument("--functions", type=int, default=200, help="Number of functions")
+    trace_parser.add_argument("--seed", type=int, default=2026, help="PRNG seed")
+    trace_parser.add_argument("--output", required=True, help="Output CSV path")
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        {"experiment": e.experiment_id, "title": e.title, "modules": e.modules}
+        for e in EXPERIMENTS.values()
+    ]
+    print(render_table(rows, columns=["experiment", "title", "modules"]))
+    return 0
+
+
+def _cmd_run(experiment: str, output_format: str) -> int:
+    ids = list_experiments() if experiment == "all" else [experiment]
+    for experiment_id in ids:
+        try:
+            rows = run_experiment(experiment_id)
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        title = f"== {experiment_id}: {EXPERIMENTS[experiment_id].title} =="
+        print(title)
+        if output_format == "markdown":
+            print(to_markdown_table(rows))
+        else:
+            print(render_table(rows))
+        print()
+    return 0
+
+
+def _cmd_trace(requests: int, functions: int, seed: int, output: str) -> int:
+    from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+    from repro.traces.io import write_requests_csv
+
+    config = TraceGeneratorConfig(num_requests=requests, num_functions=functions, seed=seed)
+    trace = TraceGenerator(config).generate()
+    count = write_requests_csv(output, trace.requests)
+    print(f"wrote {count} requests to {output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.format)
+    if args.command == "trace":
+        return _cmd_trace(args.requests, args.functions, args.seed, args.output)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

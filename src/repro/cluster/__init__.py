@@ -1,0 +1,42 @@
+"""Provider-side placement and deployment-density simulator (paper §2.2 and §3.3).
+
+The paper explains two provider-side mechanisms that shape user-facing billing:
+
+- constraints on CPU:memory control knobs exist because "highly unbalanced
+  CPU-to-memory combinations can fragment the resource capacity on host
+  servers, potentially leading to higher deployment costs; e.g., through
+  decreased deployment density" (§2.2), and
+- keep-alive policies determine how much idle capacity sandboxes pin on hosts,
+  which also affects density and therefore per-unit prices (§3.3).
+
+This package provides a host/bin-packing substrate to quantify those effects:
+place a population of sandboxes (drawn from a trace or synthetic flavors) onto
+hosts under different placement policies and knob constraints, and measure the
+number of hosts needed, the stranded (fragmented) capacity, and the density
+loss caused by keep-alive residency.
+"""
+
+from repro.cluster.host import Host, HostSpec
+from repro.cluster.placement import (
+    PlacementPolicy,
+    PlacementResult,
+    SandboxRequirement,
+    place_sandboxes,
+)
+from repro.cluster.density import (
+    DensityReport,
+    deployment_density_study,
+    keepalive_density_impact,
+)
+
+__all__ = [
+    "Host",
+    "HostSpec",
+    "PlacementPolicy",
+    "PlacementResult",
+    "SandboxRequirement",
+    "place_sandboxes",
+    "DensityReport",
+    "deployment_density_study",
+    "keepalive_density_impact",
+]

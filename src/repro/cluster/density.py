@@ -1,0 +1,166 @@
+"""Deployment-density studies: why providers constrain control knobs (paper §2.2, §3.3).
+
+Two studies:
+
+- :func:`deployment_density_study` places the same sandbox population under
+  different CPU:memory coupling rules (free-form, ratio-constrained, or
+  proportional) and reports how many hosts each needs -- quantifying the
+  fragmentation argument the paper gives for constrained control knobs.
+- :func:`keepalive_density_impact` compares how much host capacity idle
+  (kept-alive) sandboxes pin under the Table 2 resource behaviours, connecting
+  keep-alive policy to provider cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.host import HostSpec
+from repro.cluster.placement import PlacementPolicy, PlacementResult, SandboxRequirement, place_sandboxes
+from repro.platform.keepalive import KeepAlivePolicy
+
+__all__ = ["DensityReport", "deployment_density_study", "keepalive_density_impact"]
+
+
+@dataclass(frozen=True)
+class DensityReport:
+    """Host count and utilisation for one control-knob regime."""
+
+    regime: str
+    num_hosts: int
+    deployment_density: float
+    mean_cpu_utilization: float
+    mean_memory_utilization: float
+    stranded_vcpus: float
+    stranded_memory_gb: float
+
+    @classmethod
+    def from_result(cls, regime: str, result: PlacementResult) -> "DensityReport":
+        summary = result.summary()
+        return cls(
+            regime=regime,
+            num_hosts=summary["num_hosts"],
+            deployment_density=summary["deployment_density"],
+            mean_cpu_utilization=summary["mean_cpu_utilization"],
+            mean_memory_utilization=summary["mean_memory_utilization"],
+            stranded_vcpus=summary["stranded_vcpus"],
+            stranded_memory_gb=summary["stranded_memory_gb"],
+        )
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "regime": self.regime,  # type: ignore[dict-item]
+            "num_hosts": float(self.num_hosts),
+            "deployment_density": self.deployment_density,
+            "mean_cpu_utilization": self.mean_cpu_utilization,
+            "mean_memory_utilization": self.mean_memory_utilization,
+            "stranded_vcpus": self.stranded_vcpus,
+            "stranded_memory_gb": self.stranded_memory_gb,
+        }
+
+
+def _synthetic_population(num_sandboxes: int, seed: int, unbalanced: bool) -> List[SandboxRequirement]:
+    """A sandbox population; ``unbalanced`` draws extreme CPU:memory ratios."""
+    rng = np.random.default_rng(seed)
+    requirements: List[SandboxRequirement] = []
+    for index in range(num_sandboxes):
+        if unbalanced:
+            # Users free to pick any combination: many memory-heavy or CPU-heavy shapes.
+            vcpus = float(rng.choice([0.1, 0.25, 0.5, 1.0, 2.0, 4.0]))
+            memory = float(rng.choice([0.25, 0.5, 1.0, 4.0, 16.0, 32.0]))
+        else:
+            vcpus = float(rng.choice([0.25, 0.5, 1.0, 2.0]))
+            memory = vcpus * 4.0  # matches the host's own 1:4 ratio
+        requirements.append(SandboxRequirement(f"sb-{index}", vcpus, memory))
+    return requirements
+
+
+def _constrain(requirements: Sequence[SandboxRequirement], regime: str) -> List[SandboxRequirement]:
+    """Apply a control-knob regime to a free-form population."""
+    constrained: List[SandboxRequirement] = []
+    for requirement in requirements:
+        vcpus, memory = requirement.vcpus, requirement.memory_gb
+        if regime == "free_form":
+            pass
+        elif regime == "ratio_1_to_4":
+            # Alibaba-style: memory per vCPU must stay between 1 and 4 GB.
+            min_memory, max_memory = vcpus * 1.0, vcpus * 4.0
+            memory = min(max(memory, min_memory), max_memory)
+            if memory > max_memory:
+                vcpus = memory / 4.0
+        elif regime == "proportional":
+            # AWS-style: one knob; CPU follows memory at 1,769 MB per vCPU.
+            memory = max(memory, vcpus * (1769.0 / 1024.0))
+            vcpus = memory / (1769.0 / 1024.0)
+        else:
+            raise ValueError(f"unknown regime {regime!r}")
+        constrained.append(SandboxRequirement(requirement.sandbox_id, vcpus, memory))
+    return constrained
+
+
+def deployment_density_study(
+    num_sandboxes: int = 2_000,
+    seed: int = 0,
+    host_spec: Optional[HostSpec] = None,
+    policy: PlacementPolicy = PlacementPolicy.BEST_FIT,
+) -> List[DensityReport]:
+    """Place the same population under three control-knob regimes and compare host counts.
+
+    The free-form population contains unbalanced CPU:memory shapes; the
+    constrained regimes trim them toward balanced ratios, which reduces
+    stranded capacity and the number of hosts needed -- the provider-side
+    justification the paper gives for constrained knobs (§2.2).
+    """
+    population = _synthetic_population(num_sandboxes, seed, unbalanced=True)
+    reports: List[DensityReport] = []
+    for regime in ("free_form", "ratio_1_to_4", "proportional"):
+        constrained = _constrain(population, regime)
+        result = place_sandboxes(constrained, host_spec=host_spec, policy=policy)
+        reports.append(DensityReport.from_result(regime, result))
+    return reports
+
+
+def keepalive_density_impact(
+    policies: Dict[str, KeepAlivePolicy],
+    num_idle_sandboxes: int = 1_000,
+    alloc_vcpus: float = 1.0,
+    alloc_memory_gb: float = 2.0,
+    host_spec: Optional[HostSpec] = None,
+) -> List[Dict[str, float]]:
+    """How many hosts a fleet of *idle* (kept-alive) sandboxes pins under each Table 2 policy.
+
+    Freeze/deallocate and code-cache policies pin nothing; CPU scale-down pins
+    memory only; full allocation pins both resources.  The host count is the
+    capacity the provider cannot sell while those sandboxes idle.
+    """
+    host_spec = host_spec or HostSpec()
+    rows: List[Dict[str, float]] = []
+    for label, policy in policies.items():
+        idle_cpu, idle_memory = policy.idle_resources(alloc_vcpus, alloc_memory_gb)
+        if idle_cpu <= 0 and idle_memory <= 0:
+            rows.append(
+                {
+                    "policy": label,  # type: ignore[dict-item]
+                    "num_hosts_pinned": 0.0,
+                    "idle_vcpus_total": 0.0,
+                    "idle_memory_gb_total": 0.0,
+                }
+            )
+            continue
+        requirements = [
+            SandboxRequirement(f"idle-{i}", max(idle_cpu, 1e-3), max(idle_memory, 1e-3))
+            for i in range(num_idle_sandboxes)
+        ]
+        result = place_sandboxes(requirements, host_spec=host_spec)
+        rows.append(
+            {
+                "policy": label,  # type: ignore[dict-item]
+                "num_hosts_pinned": float(result.num_hosts),
+                "idle_vcpus_total": idle_cpu * num_idle_sandboxes,
+                "idle_memory_gb_total": idle_memory * num_idle_sandboxes,
+            }
+        )
+    return rows

@@ -1,0 +1,85 @@
+"""Hosts: fixed-capacity servers that sandboxes are packed onto."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["HostSpec", "Host"]
+
+_host_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Capacity of one host server.
+
+    The default matches a common cloud server shape used for FaaS fleets:
+    64 vCPUs and 256 GB of memory (a 1:4 vCPU:GB ratio).
+    """
+
+    vcpus: float = 64.0
+    memory_gb: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.memory_gb <= 0:
+            raise ValueError("host capacities must be positive")
+
+
+@dataclass
+class Host:
+    """One host with its current allocations."""
+
+    spec: HostSpec
+    name: str = ""
+    allocated_vcpus: float = field(default=0.0, init=False)
+    allocated_memory_gb: float = field(default=0.0, init=False)
+    sandboxes: List[str] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"host-{next(_host_counter)}"
+
+    @property
+    def free_vcpus(self) -> float:
+        return self.spec.vcpus - self.allocated_vcpus
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self.spec.memory_gb - self.allocated_memory_gb
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.allocated_vcpus / self.spec.vcpus
+
+    @property
+    def memory_utilization(self) -> float:
+        return self.allocated_memory_gb / self.spec.memory_gb
+
+    def fits(self, vcpus: float, memory_gb: float) -> bool:
+        """Whether a sandbox with the given allocation fits on this host."""
+        return vcpus <= self.free_vcpus + 1e-9 and memory_gb <= self.free_memory_gb + 1e-9
+
+    def place(self, sandbox_id: str, vcpus: float, memory_gb: float) -> None:
+        """Allocate a sandbox on this host (caller must have checked :meth:`fits`)."""
+        if not self.fits(vcpus, memory_gb):
+            raise ValueError(f"sandbox {sandbox_id} does not fit on {self.name}")
+        self.allocated_vcpus += vcpus
+        self.allocated_memory_gb += memory_gb
+        self.sandboxes.append(sandbox_id)
+
+    def stranded_capacity(self) -> Dict[str, float]:
+        """Capacity that cannot be used because the *other* resource is exhausted.
+
+        If memory is (nearly) full but vCPUs remain, those vCPUs are stranded,
+        and vice versa -- the fragmentation effect §2.2 attributes to
+        unbalanced CPU:memory allocations.
+        """
+        stranded_cpu = 0.0
+        stranded_memory = 0.0
+        if self.memory_utilization >= 0.97 and self.cpu_utilization < 0.97:
+            stranded_cpu = self.free_vcpus
+        if self.cpu_utilization >= 0.97 and self.memory_utilization < 0.97:
+            stranded_memory = self.free_memory_gb
+        return {"vcpus": stranded_cpu, "memory_gb": stranded_memory}

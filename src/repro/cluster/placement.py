@@ -1,0 +1,133 @@
+"""Sandbox placement: bin-packing policies over a host fleet."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.host import Host, HostSpec
+
+__all__ = ["SandboxRequirement", "PlacementPolicy", "PlacementResult", "place_sandboxes"]
+
+
+@dataclass(frozen=True)
+class SandboxRequirement:
+    """Resource demand of one sandbox to place."""
+
+    sandbox_id: str
+    vcpus: float
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.memory_gb <= 0:
+            raise ValueError("sandbox requirements must be positive")
+
+
+class PlacementPolicy(str, enum.Enum):
+    """Bin-packing heuristics for sandbox placement."""
+
+    FIRST_FIT = "first_fit"
+    BEST_FIT = "best_fit"
+    WORST_FIT = "worst_fit"
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of placing a sandbox population on a host fleet."""
+
+    hosts: List[Host]
+    unplaced: List[SandboxRequirement]
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def num_placed(self) -> int:
+        return sum(len(host.sandboxes) for host in self.hosts)
+
+    @property
+    def deployment_density(self) -> float:
+        """Sandboxes per host (the provider-cost metric §2.2 refers to)."""
+        if not self.hosts:
+            return 0.0
+        return self.num_placed / len(self.hosts)
+
+    @property
+    def mean_cpu_utilization(self) -> float:
+        if not self.hosts:
+            return 0.0
+        return sum(h.cpu_utilization for h in self.hosts) / len(self.hosts)
+
+    @property
+    def mean_memory_utilization(self) -> float:
+        if not self.hosts:
+            return 0.0
+        return sum(h.memory_utilization for h in self.hosts) / len(self.hosts)
+
+    @property
+    def stranded_vcpus(self) -> float:
+        return sum(h.stranded_capacity()["vcpus"] for h in self.hosts)
+
+    @property
+    def stranded_memory_gb(self) -> float:
+        return sum(h.stranded_capacity()["memory_gb"] for h in self.hosts)
+
+    def summary(self) -> dict:
+        return {
+            "num_hosts": self.num_hosts,
+            "num_placed": self.num_placed,
+            "deployment_density": self.deployment_density,
+            "mean_cpu_utilization": self.mean_cpu_utilization,
+            "mean_memory_utilization": self.mean_memory_utilization,
+            "stranded_vcpus": self.stranded_vcpus,
+            "stranded_memory_gb": self.stranded_memory_gb,
+            "unplaced": len(self.unplaced),
+        }
+
+
+def _score(host: Host, requirement: SandboxRequirement, policy: PlacementPolicy) -> float:
+    """Lower score is preferred.  Scores measure leftover capacity after placement."""
+    leftover_cpu = (host.free_vcpus - requirement.vcpus) / host.spec.vcpus
+    leftover_memory = (host.free_memory_gb - requirement.memory_gb) / host.spec.memory_gb
+    leftover = leftover_cpu + leftover_memory
+    if policy is PlacementPolicy.BEST_FIT:
+        return leftover
+    if policy is PlacementPolicy.WORST_FIT:
+        return -leftover
+    return 0.0  # FIRST_FIT: order of the host list decides
+
+
+def place_sandboxes(
+    requirements: Sequence[SandboxRequirement],
+    host_spec: Optional[HostSpec] = None,
+    policy: PlacementPolicy = PlacementPolicy.BEST_FIT,
+    max_hosts: int = 100_000,
+) -> PlacementResult:
+    """Pack sandboxes onto hosts, opening a new host whenever nothing fits.
+
+    Hosts are homogeneous (``host_spec``); a sandbox larger than a whole host
+    is reported as unplaced rather than raising.
+    """
+    host_spec = host_spec or HostSpec()
+    hosts: List[Host] = []
+    unplaced: List[SandboxRequirement] = []
+    for requirement in requirements:
+        if requirement.vcpus > host_spec.vcpus or requirement.memory_gb > host_spec.memory_gb:
+            unplaced.append(requirement)
+            continue
+        candidates = [h for h in hosts if h.fits(requirement.vcpus, requirement.memory_gb)]
+        if candidates:
+            if policy is PlacementPolicy.FIRST_FIT:
+                chosen = candidates[0]
+            else:
+                chosen = min(candidates, key=lambda h: _score(h, requirement, policy))
+        else:
+            if len(hosts) >= max_hosts:
+                unplaced.append(requirement)
+                continue
+            chosen = Host(spec=host_spec)
+            hosts.append(chosen)
+        chosen.place(requirement.sandbox_id, requirement.vcpus, requirement.memory_gb)
+    return PlacementResult(hosts=hosts, unplaced=unplaced)

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: a top-down serverless cost analysis framework.
+
+The paper's methodology traces costs through three layers -- user-facing
+billing models (§2), the request serving architecture (§3), and OS scheduling
+(§4).  This package ties the substrates together:
+
+- :mod:`repro.core.cost_model` computes, for a workload on a platform, the
+  billable resources and monetary cost with every layer's effect applied
+  (billing rounding and fees, serving overhead, contention slowdown,
+  scheduling-induced duration changes).
+- :mod:`repro.core.decomposition` splits an invocation's cost into the
+  contributions of each layer, giving the per-layer breakdown the paper argues
+  practitioners should compute for their own workloads (§5).
+- :mod:`repro.core.exploit` implements the §4.3 intermittent-execution
+  exploit (decomposing a long function into short bursts that fit within the
+  bandwidth-control quota) and the §3.3 Azure background-task pattern.
+- :mod:`repro.core.rightsizing` searches resource allocations while being
+  aware of the scheduling quantization jumps that existing right-sizing tools
+  ignore.
+"""
+
+from repro.core.cost_model import CostModel, WorkloadCostReport
+from repro.core.decomposition import CostDecomposition, decompose_invocation_cost
+from repro.core.exploit import IntermittentExecutionPlan, evaluate_intermittent_execution
+from repro.core.rightsizing import RightsizingAdvisor, RightsizingRecommendation
+from repro.core.advisor import (
+    PlatformSelectionAdvisor,
+    evaluate_function_decomposition,
+    evaluate_function_merging,
+)
+from repro.core.report import render_table, to_markdown_table
+
+__all__ = [
+    "CostModel",
+    "WorkloadCostReport",
+    "CostDecomposition",
+    "decompose_invocation_cost",
+    "IntermittentExecutionPlan",
+    "evaluate_intermittent_execution",
+    "RightsizingAdvisor",
+    "RightsizingRecommendation",
+    "PlatformSelectionAdvisor",
+    "evaluate_function_merging",
+    "evaluate_function_decomposition",
+    "render_table",
+    "to_markdown_table",
+]

@@ -1,0 +1,77 @@
+"""Plain-text and Markdown rendering of experiment result tables.
+
+Every benchmark regenerates a paper table or figure as a list of row
+dictionaries; these helpers render them for terminal output and for
+EXPERIMENTS.md without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "to_markdown_table", "format_value"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Format one cell: floats get fixed precision, everything else str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            seen.setdefault(key, None)
+    return list(seen)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = _columns(rows, columns)
+    cells = [[format_value(row.get(col, ""), precision) for col in cols] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(cols)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(cols)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(cols))))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def to_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = _columns(rows, columns)
+    header = "| " + " | ".join(cols) + " |"
+    separator = "| " + " | ".join("---" for _ in cols) + " |"
+    body = [
+        "| " + " | ".join(format_value(row.get(col, ""), precision) for col in cols) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, separator] + body)

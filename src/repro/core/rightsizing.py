@@ -1,0 +1,117 @@
+"""Quantization-aware function right-sizing (paper §4.3 implications).
+
+Existing right-sizing tools search the resource-allocation space assuming a
+smooth performance-versus-allocation curve.  The paper shows the real curve
+has step-like quantization jumps caused by CPU bandwidth control, so the
+cheapest allocation meeting a latency target often sits *just above* a jump.
+This advisor searches allocations with the Equation (2) duration model (plus
+serving overhead) and the full billing model, so it lands on those
+scheduling-aware sweet spots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.billing.catalog import PlatformName
+from repro.core.cost_model import CostModel
+from repro.platform.config import PlatformConfig
+from repro.workloads.functions import WorkloadSpec
+
+__all__ = ["RightsizingRecommendation", "RightsizingAdvisor"]
+
+
+@dataclass(frozen=True)
+class RightsizingCandidate:
+    """One evaluated allocation point."""
+
+    alloc_vcpus: float
+    alloc_memory_gb: float
+    execution_duration_s: float
+    cost_per_invocation: float
+    meets_latency_target: bool
+
+
+@dataclass(frozen=True)
+class RightsizingRecommendation:
+    """The advisor's output: the chosen allocation and the full sweep for inspection."""
+
+    best: Optional[RightsizingCandidate]
+    candidates: List[RightsizingCandidate]
+    latency_target_s: Optional[float]
+
+    @property
+    def feasible(self) -> bool:
+        return self.best is not None
+
+
+class RightsizingAdvisor:
+    """Search resource allocations with scheduling-quantization awareness."""
+
+    def __init__(
+        self,
+        billing_platform: "PlatformName | str",
+        scheduling_provider: Optional[str] = "aws_lambda",
+        serving_platform: Optional[PlatformConfig] = None,
+        memory_per_vcpu_gb: float = 1769.0 / 1024.0,
+    ) -> None:
+        if memory_per_vcpu_gb <= 0:
+            raise ValueError("memory_per_vcpu_gb must be positive")
+        self.cost_model = CostModel(
+            billing_platform,
+            serving_platform=serving_platform,
+            scheduling_provider=scheduling_provider,
+        )
+        self.memory_per_vcpu_gb = memory_per_vcpu_gb
+
+    def evaluate(
+        self,
+        workload: WorkloadSpec,
+        vcpu_candidates: Sequence[float],
+        latency_target_s: Optional[float] = None,
+    ) -> RightsizingRecommendation:
+        """Evaluate candidate allocations and pick the cheapest meeting the latency target."""
+        if not vcpu_candidates:
+            raise ValueError("at least one candidate allocation is required")
+        candidates: List[RightsizingCandidate] = []
+        for vcpus in vcpu_candidates:
+            if vcpus <= 0:
+                raise ValueError("candidate allocations must be positive")
+            memory = vcpus * self.memory_per_vcpu_gb
+            report = self.cost_model.invocation_cost(workload, vcpus, memory)
+            meets = latency_target_s is None or report.execution_duration_s <= latency_target_s
+            candidates.append(
+                RightsizingCandidate(
+                    alloc_vcpus=vcpus,
+                    alloc_memory_gb=memory,
+                    execution_duration_s=report.execution_duration_s,
+                    cost_per_invocation=report.cost_per_invocation,
+                    meets_latency_target=meets,
+                )
+            )
+        feasible = [c for c in candidates if c.meets_latency_target]
+        best = min(feasible, key=lambda c: c.cost_per_invocation) if feasible else None
+        return RightsizingRecommendation(
+            best=best, candidates=candidates, latency_target_s=latency_target_s
+        )
+
+    def jitter_risk(self, workload: WorkloadSpec, alloc_vcpus: float, window: float = 0.05) -> float:
+        """Relative duration change across a small allocation window around ``alloc_vcpus``.
+
+        A large value means the allocation sits near a quantization boundary
+        (Figure 10's jumps), where small allocation or load changes produce
+        large performance jitter.
+        """
+        if alloc_vcpus <= 0:
+            raise ValueError("alloc_vcpus must be positive")
+        if not 0 < window < 1:
+            raise ValueError("window must be in (0, 1)")
+        low = max(alloc_vcpus * (1 - window), 1e-3)
+        high = min(alloc_vcpus * (1 + window), 1.0)
+        d_low = self.cost_model.execution_duration_s(workload, low)
+        d_high = self.cost_model.execution_duration_s(workload, high)
+        d_mid = self.cost_model.execution_duration_s(workload, alloc_vcpus)
+        if d_mid <= 0:
+            return 0.0
+        return abs(d_low - d_high) / d_mid

@@ -1,0 +1,47 @@
+"""Discrete-event serverless platform simulator (paper §3).
+
+Models the parts of a public serverless platform that the paper identifies as
+hidden cost drivers:
+
+- the **concurrency model** (single- versus multi-concurrency sandboxes) and
+  the resource contention it creates (§3.1),
+- the **request serving architecture** (API long polling, HTTP server, or
+  code/binary execution) and its per-request overhead (§3.2),
+- **keep-alive** duration and resource allocation behaviour (§3.3), and the
+  cold-start probability as a function of idle time,
+- a concurrency/CPU-target **autoscaler** with a metric aggregation window,
+  which is responsible for the scaling lag the paper measures on GCP.
+
+Per-platform presets (:mod:`repro.platform.presets`) configure these pieces to
+match the behaviour the paper observed on AWS Lambda, Google Cloud Run, Azure
+Functions and Cloudflare Workers.
+"""
+
+from repro.platform.config import FunctionConfig, PlatformConfig
+from repro.platform.serving import ServingArchitecture, ServingOverheadModel
+from repro.platform.keepalive import KeepAlivePolicy, KeepAliveResourceBehavior
+from repro.platform.concurrency import ConcurrencyModel, ContentionModel
+from repro.platform.autoscaler import Autoscaler, AutoscalerConfig
+from repro.platform.sandbox import Sandbox, SandboxState
+from repro.platform.invoker import PlatformSimulator, RequestOutcome, SimulationMetrics
+from repro.platform.presets import PLATFORM_PRESETS, get_platform_preset
+
+__all__ = [
+    "FunctionConfig",
+    "PlatformConfig",
+    "ServingArchitecture",
+    "ServingOverheadModel",
+    "KeepAlivePolicy",
+    "KeepAliveResourceBehavior",
+    "ConcurrencyModel",
+    "ContentionModel",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "Sandbox",
+    "SandboxState",
+    "PlatformSimulator",
+    "RequestOutcome",
+    "SimulationMetrics",
+    "PLATFORM_PRESETS",
+    "get_platform_preset",
+]

@@ -1,0 +1,110 @@
+"""Concurrency models and the contention penalty of multi-concurrency sandboxes (paper §3.1).
+
+Two serving models exist on public platforms:
+
+- **single-concurrency** (AWS Lambda, Cloudflare Workers): a sandbox serves at
+  most one request at a time, so execution duration is independent of load;
+- **multi-concurrency** (GCP / Knative / IBM): up to ``max_concurrency``
+  requests share one sandbox (Knative's default container concurrency is 80 on
+  GCP and 100 on IBM), so concurrent CPU-bound requests contend for the
+  sandbox's vCPUs, inflating both execution duration and -- under wall-clock
+  billing -- cost (the paper's "dual penalty").
+
+The contention model is processor sharing with a configurable inefficiency
+factor for context switches and cache interference, which the paper notes make
+real slowdowns worse than the ideal ``n / vcpus`` factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConcurrencyModel", "ContentionModel"]
+
+
+@dataclass(frozen=True)
+class ConcurrencyModel:
+    """How many requests one sandbox may serve concurrently.
+
+    Attributes:
+        max_concurrency: platform-level admission limit per sandbox (Knative
+            container concurrency; GCP default 80, IBM default 100).
+        runtime_workers: how many admitted requests the language runtime inside
+            the sandbox actually executes in parallel (e.g. the worker/thread
+            pool of functions-framework or the Azure Functions host).  Requests
+            admitted beyond this wait inside the sandbox; that wait is part of
+            end-to-end latency but not of the provider-reported execution
+            duration.  ``None`` means every admitted request executes.
+    """
+
+    max_concurrency: int = 1
+    runtime_workers: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.runtime_workers is not None and self.runtime_workers < 1:
+            raise ValueError("runtime_workers must be >= 1 when set")
+
+    @property
+    def is_single(self) -> bool:
+        return self.max_concurrency == 1
+
+    @property
+    def effective_workers(self) -> int:
+        """Number of requests that can make progress simultaneously in one sandbox."""
+        if self.runtime_workers is None:
+            return self.max_concurrency
+        return min(self.runtime_workers, self.max_concurrency)
+
+    @classmethod
+    def single(cls) -> "ConcurrencyModel":
+        """Single-concurrency serving (AWS Lambda, Cloudflare Workers)."""
+        return cls(max_concurrency=1)
+
+    @classmethod
+    def multi(cls, max_concurrency: int = 80, runtime_workers: "int | None" = None) -> "ConcurrencyModel":
+        """Multi-concurrency serving with the given per-sandbox limit (GCP default: 80)."""
+        return cls(max_concurrency=max_concurrency, runtime_workers=runtime_workers)
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Processor-sharing contention inside one sandbox.
+
+    ``n`` concurrent single-threaded requests on a sandbox with ``c`` vCPUs
+    each progress at rate ``min(1, c / n) * efficiency(n)`` vCPUs, where
+    ``efficiency(n) = 1 / (1 + overhead_per_peer * (n - 1))`` models the extra
+    context-switch and cache-interference cost of time-sharing.
+    """
+
+    overhead_per_peer: float = 0.03
+    #: Largest efficiency loss allowed (guards against pathological settings).
+    min_efficiency: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.overhead_per_peer < 0:
+            raise ValueError("overhead_per_peer must be >= 0")
+        if not 0 < self.min_efficiency <= 1:
+            raise ValueError("min_efficiency must be in (0, 1]")
+
+    def efficiency(self, concurrent_requests: int) -> float:
+        """CPU efficiency with ``concurrent_requests`` active requests in the sandbox."""
+        if concurrent_requests <= 0:
+            raise ValueError("concurrent_requests must be positive")
+        eff = 1.0 / (1.0 + self.overhead_per_peer * (concurrent_requests - 1))
+        return max(eff, self.min_efficiency)
+
+    def per_request_rate(self, concurrent_requests: int, alloc_vcpus: float) -> float:
+        """vCPUs of progress each of ``concurrent_requests`` requests makes per second."""
+        if alloc_vcpus <= 0:
+            raise ValueError("alloc_vcpus must be positive")
+        if concurrent_requests <= 0:
+            raise ValueError("concurrent_requests must be positive")
+        fair_share = alloc_vcpus / concurrent_requests
+        return min(1.0, fair_share) * self.efficiency(concurrent_requests)
+
+    def slowdown(self, concurrent_requests: int, alloc_vcpus: float) -> float:
+        """Execution-duration multiplier relative to an uncontended request."""
+        uncontended = min(1.0, alloc_vcpus)
+        return uncontended / self.per_request_rate(concurrent_requests, alloc_vcpus)

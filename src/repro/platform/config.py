@@ -1,0 +1,74 @@
+"""Function and platform configuration objects for the platform simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.platform.autoscaler import AutoscalerConfig
+from repro.platform.concurrency import ConcurrencyModel, ContentionModel
+from repro.platform.keepalive import KeepAlivePolicy
+from repro.platform.serving import ServingArchitecture, ServingOverheadModel
+
+__all__ = ["FunctionConfig", "PlatformConfig"]
+
+
+@dataclass(frozen=True)
+class FunctionConfig:
+    """A deployed function: its resource allocation and per-request demand.
+
+    Attributes:
+        name: function identifier.
+        alloc_vcpus: vCPUs allocated to each sandbox of the function.
+        alloc_memory_gb: memory allocated to each sandbox.
+        cpu_time_s: CPU time one request needs at full speed (e.g. ~0.16 s for
+            the PyAES benchmark at 1 vCPU).
+        io_time_s: wall-clock time one request spends blocked on IO (no CPU).
+        used_memory_gb: average resident memory during a request.
+        init_duration_s: sandbox initialisation (cold start) duration.
+    """
+
+    name: str
+    alloc_vcpus: float
+    alloc_memory_gb: float
+    cpu_time_s: float
+    io_time_s: float = 0.0
+    used_memory_gb: float = 0.0
+    init_duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alloc_vcpus <= 0 or self.alloc_memory_gb <= 0:
+            raise ValueError("allocations must be positive")
+        if self.cpu_time_s < 0 or self.io_time_s < 0:
+            raise ValueError("cpu_time_s and io_time_s must be >= 0")
+        if self.init_duration_s < 0:
+            raise ValueError("init_duration_s must be >= 0")
+        if self.used_memory_gb < 0:
+            raise ValueError("used_memory_gb must be >= 0")
+
+    @property
+    def service_time_s(self) -> float:
+        """Uncontended execution duration of one request (CPU at full allocation + IO)."""
+        return self.cpu_time_s / min(self.alloc_vcpus, 1.0) + self.io_time_s
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """The serving-side behaviour of a platform (one §3 configuration)."""
+
+    name: str
+    concurrency: ConcurrencyModel
+    serving: ServingOverheadModel
+    keep_alive: KeepAlivePolicy
+    autoscaler: Optional[AutoscalerConfig] = None
+    contention: ContentionModel = field(default_factory=ContentionModel)
+    #: Extra scheduling / placement delay before a cold sandbox starts initialising.
+    placement_delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.placement_delay_s < 0:
+            raise ValueError("placement_delay_s must be >= 0")
+
+    @property
+    def architecture(self) -> ServingArchitecture:
+        return self.serving.architecture

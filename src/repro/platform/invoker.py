@@ -1,0 +1,297 @@
+"""The platform simulator: routes requests to sandboxes and tracks cost-relevant metrics.
+
+This is a discrete-event simulation of the serving layer of one function on
+one platform.  It combines the pieces defined elsewhere in the package:
+
+- the concurrency model decides how many requests may share a sandbox,
+- the contention model stretches execution under concurrent load,
+- the serving-architecture model adds per-request overhead,
+- the keep-alive policy decides how long idle sandboxes survive,
+- the autoscaler (when configured) grows and shrinks the instance pool from
+  window-averaged metrics, reproducing the scaling lag of Figure 6.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.platform.config import FunctionConfig, PlatformConfig
+from repro.platform.metrics import RequestOutcome, SimulationMetrics
+from repro.platform.autoscaler import Autoscaler
+from repro.platform.sandbox import ActiveRequest, Sandbox, SandboxState
+
+__all__ = ["PlatformSimulator", "RequestOutcome", "SimulationMetrics"]
+
+_EPS = 1e-9
+
+
+class _Event:
+    """Heap-ordered simulation event."""
+
+    __slots__ = ("time", "seq", "kind", "data")
+
+    def __init__(self, time: float, seq: int, kind: str, data: dict) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.data = data
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class PlatformSimulator:
+    """Simulates one function deployed on one platform configuration."""
+
+    def __init__(
+        self,
+        platform: PlatformConfig,
+        function: FunctionConfig,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        self.function = function
+        self._rng = np.random.default_rng(seed)
+        self._seq = itertools.count()
+        self._request_counter = itertools.count()
+        self._events: List[_Event] = []
+        self._sandboxes: Dict[str, Sandbox] = {}
+        self._queue: List[Tuple[float, str]] = []  # (arrival time, request id) FIFO
+        self._pending_cold: Dict[str, List[Tuple[float, str]]] = {}  # sandbox -> waiting requests
+        self._completion_version: Dict[str, int] = {}
+        self._now = 0.0
+        self.metrics = SimulationMetrics()
+        self._autoscaler: Optional[Autoscaler] = None
+        if platform.autoscaler is not None:
+            self._autoscaler = Autoscaler(
+                platform.autoscaler,
+                max_concurrency=platform.concurrency.max_concurrency,
+                alloc_vcpus=function.alloc_vcpus,
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, arrivals: Sequence[float], horizon_s: Optional[float] = None) -> SimulationMetrics:
+        """Simulate the given request arrival times; returns collected metrics."""
+        arrivals = sorted(arrivals)
+        if horizon_s is None:
+            tail = self.function.service_time_s * 50 + 10.0
+            horizon_s = (arrivals[-1] if arrivals else 0.0) + tail
+        for arrival in arrivals:
+            self._push(arrival, "arrival", {})
+        if self._autoscaler is not None:
+            interval = self.platform.autoscaler.evaluation_interval_s
+            t = 0.0
+            while t <= horizon_s:
+                self._push(t, "autoscale", {})
+                t += interval
+        while self._events:
+            event = heapq.heappop(self._events)
+            if event.time > horizon_s + _EPS:
+                break
+            self._now = max(self._now, event.time)
+            handler = getattr(self, f"_handle_{event.kind}")
+            handler(event)
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _push(self, time: float, kind: str, data: dict) -> None:
+        heapq.heappush(self._events, _Event(time, next(self._seq), kind, data))
+
+    def _alive_sandboxes(self) -> List[Sandbox]:
+        return [s for s in self._sandboxes.values() if s.state is not SandboxState.TERMINATED]
+
+    def _instance_count(self) -> int:
+        return len(self._alive_sandboxes())
+
+    # ------------------------------------------------------------------
+    # Arrival and routing
+    # ------------------------------------------------------------------
+
+    def _handle_arrival(self, event: _Event) -> None:
+        request_id = f"req-{next(self._request_counter):07d}"
+        self._route(request_id, arrival_s=self._now)
+
+    def _route(self, request_id: str, arrival_s: float) -> None:
+        sandbox = self._pick_sandbox()
+        if sandbox is not None:
+            self._admit(sandbox, request_id, arrival_s, cold=False)
+            return
+        if self.platform.concurrency.is_single or not self._alive_sandboxes():
+            # Single-concurrency platforms provision a fresh sandbox per excess
+            # request; multi-concurrency platforms also cold-start when scaled
+            # to zero.
+            sandbox = self._create_sandbox()
+            self._pending_cold.setdefault(sandbox.name, []).append((arrival_s, request_id))
+            return
+        # Multi-concurrency: all instances are at their concurrency limit; the
+        # request queues at the ingress until capacity frees or the autoscaler
+        # adds instances.
+        self._queue.append((arrival_s, request_id))
+
+    def _pick_sandbox(self) -> Optional[Sandbox]:
+        """Choose a ready sandbox with available concurrency (fewest active requests)."""
+        limit = self.platform.concurrency.max_concurrency
+        candidates = [
+            s
+            for s in self._alive_sandboxes()
+            if s.state in (SandboxState.IDLE, SandboxState.BUSY)
+            and s.ready_s <= self._now + _EPS
+            and s.concurrency < limit
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (s.concurrency, s.name))
+
+    def _create_sandbox(self) -> Sandbox:
+        init_duration = self.platform.placement_delay_s + self.function.init_duration_s
+        sandbox = Sandbox(
+            function_name=self.function.name,
+            alloc_vcpus=self.function.alloc_vcpus,
+            alloc_memory_gb=self.function.alloc_memory_gb,
+            contention=self.platform.contention,
+            created_s=self._now,
+            init_duration_s=init_duration,
+            runtime_workers=self.platform.concurrency.effective_workers,
+        )
+        self._sandboxes[sandbox.name] = sandbox
+        self._completion_version[sandbox.name] = 0
+        self._push(self._now + init_duration, "sandbox_ready", {"sandbox": sandbox.name})
+        self.metrics.record_instances(self._now, self._instance_count())
+        return sandbox
+
+    def _handle_sandbox_ready(self, event: _Event) -> None:
+        sandbox = self._sandboxes[event.data["sandbox"]]
+        if sandbox.state is SandboxState.TERMINATED:
+            return
+        sandbox.mark_ready(self._now)
+        waiting = self._pending_cold.pop(sandbox.name, [])
+        for index, (arrival_s, request_id) in enumerate(waiting):
+            # The request(s) that waited for this sandbox experienced the cold start.
+            self._admit(sandbox, request_id, arrival_s, cold=True)
+        self._drain_queue()
+        self._maybe_schedule_keepalive(sandbox)
+
+    def _admit(self, sandbox: Sandbox, request_id: str, arrival_s: float, cold: bool) -> None:
+        overhead = self.platform.serving.sample_overhead_s(self.function.alloc_vcpus, self._rng)
+        request = ActiveRequest(
+            request_id=request_id,
+            arrival_s=arrival_s,
+            admitted_s=self._now,
+            remaining_cpu_s=self.function.cpu_time_s,
+            io_remaining_s=self.function.io_time_s + overhead,
+            overhead_s=overhead,
+            cold_start=cold,
+            init_wait_s=(self._now - arrival_s) if cold else 0.0,
+        )
+        sandbox.admit(request, self._now)
+        self._schedule_completion_check(sandbox)
+
+    # ------------------------------------------------------------------
+    # Completion handling
+    # ------------------------------------------------------------------
+
+    def _schedule_completion_check(self, sandbox: Sandbox) -> None:
+        self._completion_version[sandbox.name] += 1
+        version = self._completion_version[sandbox.name]
+        next_time = sandbox.next_completion_time(self._now)
+        if next_time is None:
+            return
+        self._push(max(next_time, self._now), "completion", {"sandbox": sandbox.name, "version": version})
+
+    def _handle_completion(self, event: _Event) -> None:
+        name = event.data["sandbox"]
+        sandbox = self._sandboxes.get(name)
+        if sandbox is None or sandbox.state is SandboxState.TERMINATED:
+            return
+        if event.data["version"] != self._completion_version[name]:
+            return  # stale check; membership changed since it was scheduled
+        sandbox.advance(self._now)
+        finished = sandbox.completed_requests()
+        for request_id, request in finished.items():
+            sandbox.remove(request_id, self._now)
+            exec_start = request.exec_start_s if request.exec_start_s is not None else request.admitted_s
+            execution_duration = self._now - exec_start
+            self.metrics.record(
+                RequestOutcome(
+                    request_id=request_id,
+                    arrival_s=request.arrival_s,
+                    start_s=exec_start,
+                    completion_s=self._now,
+                    execution_duration_s=execution_duration,
+                    cold_start=request.cold_start,
+                    init_duration_s=request.init_wait_s,
+                    queue_delay_s=max(exec_start - request.arrival_s - request.init_wait_s, 0.0),
+                    sandbox_name=sandbox.name,
+                )
+            )
+        if finished:
+            self._drain_queue()
+            self._maybe_schedule_keepalive(sandbox)
+        self._schedule_completion_check(sandbox)
+
+    def _drain_queue(self) -> None:
+        """Move queued requests onto sandboxes with free capacity (FIFO)."""
+        while self._queue:
+            sandbox = self._pick_sandbox()
+            if sandbox is None:
+                return
+            arrival_s, request_id = self._queue.pop(0)
+            self._admit(sandbox, request_id, arrival_s, cold=False)
+
+    # ------------------------------------------------------------------
+    # Keep-alive and termination
+    # ------------------------------------------------------------------
+
+    def _maybe_schedule_keepalive(self, sandbox: Sandbox) -> None:
+        if sandbox.state is not SandboxState.IDLE:
+            return
+        keep_alive = self.platform.keep_alive.sample_keep_alive_s(
+            self._rng, scaled_out_instances=self._instance_count()
+        )
+        deadline = self._now + keep_alive
+        sandbox.keep_alive_deadline_s = deadline
+        self._push(deadline, "keepalive_expire", {"sandbox": sandbox.name, "deadline": deadline})
+
+    def _handle_keepalive_expire(self, event: _Event) -> None:
+        sandbox = self._sandboxes.get(event.data["sandbox"])
+        if sandbox is None or sandbox.state is not SandboxState.IDLE:
+            return
+        if abs(sandbox.keep_alive_deadline_s - event.data["deadline"]) > 1e-6:
+            return  # the sandbox served another request since this expiry was scheduled
+        sandbox.terminate(self._now)
+        self.metrics.record_instances(self._now, self._instance_count())
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+
+    def _handle_autoscale(self, event: _Event) -> None:
+        if self._autoscaler is None:
+            return
+        alive = self._alive_sandboxes()
+        active_requests = sum(s.concurrency for s in alive) + len(self._queue)
+        busy_vcpus = sum(
+            min(float(s.concurrency), s.alloc_vcpus) for s in alive if s.state is SandboxState.BUSY
+        )
+        self._autoscaler.observe(self._now, active_requests, busy_vcpus, len(alive))
+        desired = self._autoscaler.desired_instances(self._now, len(alive))
+        current = len(alive)
+        if desired > current:
+            for _ in range(desired - current):
+                self._create_sandbox()
+        elif desired < current:
+            removable = [s for s in alive if s.state is SandboxState.IDLE]
+            for sandbox in removable[: current - desired]:
+                sandbox.terminate(self._now)
+        self.metrics.record_instances(self._now, self._instance_count())
+        self._drain_queue()

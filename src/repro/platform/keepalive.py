@@ -1,0 +1,135 @@
+"""Keep-alive policies and resource allocation behaviour during keep-alive (paper §3.3).
+
+The paper measures, per platform, (a) how long an idle sandbox is kept alive
+before the next invocation becomes a cold start (Figure 9) and (b) what the
+platform does with the sandbox's CPU and memory while it idles (Table 2):
+
+- AWS Lambda freezes the microVM (CPU and memory deallocated) and keeps it for
+  roughly 300-360 s.
+- Azure Functions Consumption keeps the sandbox running with full allocation
+  but uses a shorter, opportunistic keep-alive window (~120-360 s, longer when
+  the function has scaled out).
+- GCP scales the sandbox's CPU down to ~0.01 vCPU during keep-alive and keeps
+  instances for up to ~900 s.
+- Cloudflare Workers only caches code/bytecode; there is no resident sandbox.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KeepAliveResourceBehavior", "KeepAlivePolicy"]
+
+
+class KeepAliveResourceBehavior(str, enum.Enum):
+    """What happens to the sandbox's resources during the keep-alive phase (Table 2)."""
+
+    #: Freeze / snapshot the sandbox: CPU and memory are deallocated (AWS Lambda).
+    FREEZE_DEALLOCATE = "freeze_deallocate"
+    #: Scale CPU down to a tiny share, keep memory resident (GCP request-based billing).
+    SCALE_DOWN_CPU = "scale_down_cpu"
+    #: Keep the sandbox running with its full allocation (Azure Consumption).
+    FULL_ALLOCATION = "full_allocation"
+    #: Only cache the code artifact; nothing stays resident (Cloudflare Workers).
+    CODE_CACHE = "code_cache"
+
+
+@dataclass(frozen=True)
+class KeepAlivePolicy:
+    """Keep-alive window and resource behaviour of one platform.
+
+    The keep-alive duration is modelled as a window ``[min_s, max_s]``:
+    sandboxes idle for less than ``min_s`` are always warm, sandboxes idle for
+    more than ``max_s`` are always cold, and in between the platform behaves
+    opportunistically (modelled as a linear cold-start probability ramp, which
+    matches the measured probability-versus-idle-time curves of Figure 9).
+
+    Attributes:
+        min_keep_alive_s: largest idle time with zero observed cold starts.
+        max_keep_alive_s: smallest idle time with (almost) certain cold starts.
+        resource_behavior: what the platform does with resources while idle.
+        keep_alive_cpu_vcpus: CPU left allocated during keep-alive (e.g. ~0.01
+            vCPU on GCP, the full allocation on Azure, zero on AWS).
+        keep_alive_memory_fraction: fraction of the memory allocation that
+            stays resident during keep-alive.
+        graceful_shutdown: whether the platform delivers SIGTERM and waits for
+            handlers when terminating the sandbox after keep-alive.
+        scale_out_extension_s: extra keep-alive the platform grants functions
+            that have scaled out to multiple instances (observed on Azure).
+    """
+
+    min_keep_alive_s: float
+    max_keep_alive_s: float
+    resource_behavior: KeepAliveResourceBehavior
+    keep_alive_cpu_vcpus: float = 0.0
+    keep_alive_memory_fraction: float = 0.0
+    graceful_shutdown: bool = False
+    scale_out_extension_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_keep_alive_s < 0 or self.max_keep_alive_s < 0:
+            raise ValueError("keep-alive durations must be >= 0")
+        if self.max_keep_alive_s < self.min_keep_alive_s:
+            raise ValueError("max_keep_alive_s must be >= min_keep_alive_s")
+        if self.keep_alive_cpu_vcpus < 0:
+            raise ValueError("keep_alive_cpu_vcpus must be >= 0")
+        if not 0 <= self.keep_alive_memory_fraction <= 1:
+            raise ValueError("keep_alive_memory_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Cold-start probability (Figure 9)
+    # ------------------------------------------------------------------
+
+    def cold_start_probability(self, idle_s: float, scaled_out_instances: int = 1) -> float:
+        """Probability that a request arriving after ``idle_s`` of idleness hits a cold start."""
+        if idle_s < 0:
+            raise ValueError("idle_s must be >= 0")
+        max_keep_alive = self.max_keep_alive_s
+        if scaled_out_instances > 1:
+            max_keep_alive += self.scale_out_extension_s
+        if idle_s <= self.min_keep_alive_s:
+            return 0.0
+        if idle_s >= max_keep_alive:
+            return 1.0
+        span = max_keep_alive - self.min_keep_alive_s
+        if span <= 0:
+            return 1.0
+        return (idle_s - self.min_keep_alive_s) / span
+
+    def sample_keep_alive_s(self, rng: np.random.Generator, scaled_out_instances: int = 1) -> float:
+        """Draw the keep-alive duration one particular sandbox will get."""
+        max_keep_alive = self.max_keep_alive_s
+        if scaled_out_instances > 1:
+            max_keep_alive += self.scale_out_extension_s
+        if max_keep_alive <= self.min_keep_alive_s:
+            return max_keep_alive
+        return float(rng.uniform(self.min_keep_alive_s, max_keep_alive))
+
+    # ------------------------------------------------------------------
+    # Idle resource footprint (provider-side cost of keep-alive)
+    # ------------------------------------------------------------------
+
+    def idle_resources(self, alloc_vcpus: float, alloc_memory_gb: float) -> "tuple[float, float]":
+        """(vCPUs, memory GB) held by one idle sandbox under this policy."""
+        if self.resource_behavior is KeepAliveResourceBehavior.FREEZE_DEALLOCATE:
+            return 0.0, 0.0
+        if self.resource_behavior is KeepAliveResourceBehavior.CODE_CACHE:
+            return 0.0, 0.0
+        if self.resource_behavior is KeepAliveResourceBehavior.SCALE_DOWN_CPU:
+            return min(self.keep_alive_cpu_vcpus, alloc_vcpus), alloc_memory_gb
+        # FULL_ALLOCATION
+        return alloc_vcpus, alloc_memory_gb * max(self.keep_alive_memory_fraction, 1.0)
+
+    def describe(self) -> dict:
+        """One row of the paper's Table 2."""
+        return {
+            "resource_behavior": self.resource_behavior.value,
+            "min_keep_alive_s": self.min_keep_alive_s,
+            "max_keep_alive_s": self.max_keep_alive_s,
+            "keep_alive_cpu_vcpus": self.keep_alive_cpu_vcpus,
+            "graceful_shutdown": self.graceful_shutdown,
+        }

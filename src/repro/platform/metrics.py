@@ -1,0 +1,121 @@
+"""Metrics collected by the platform simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RequestOutcome", "SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """The outcome of one simulated invocation, as the provider would report it."""
+
+    request_id: str
+    arrival_s: float
+    start_s: float
+    completion_s: float
+    execution_duration_s: float
+    cold_start: bool
+    init_duration_s: float
+    queue_delay_s: float
+    sandbox_name: str
+
+    @property
+    def end_to_end_latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+    @property
+    def turnaround_s(self) -> float:
+        """Billable turnaround: init (when cold) plus execution."""
+        return self.init_duration_s + self.execution_duration_s
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregated output of one platform simulation."""
+
+    requests: List[RequestOutcome] = field(default_factory=list)
+    #: (time, instance count) samples over the simulation.
+    instance_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    cold_starts: int = 0
+
+    def record(self, outcome: RequestOutcome) -> None:
+        self.requests.append(outcome)
+        if outcome.cold_start:
+            self.cold_starts += 1
+
+    def record_instances(self, now_s: float, count: int) -> None:
+        self.instance_timeline.append((now_s, count))
+
+    # ------------------------------------------------------------------
+    # Aggregations used by the analysis / benchmark modules
+    # ------------------------------------------------------------------
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    def execution_durations_s(self) -> List[float]:
+        return [r.execution_duration_s for r in self.requests]
+
+    def mean_execution_duration_s(self) -> float:
+        durations = self.execution_durations_s()
+        return float(np.mean(durations)) if durations else float("nan")
+
+    def percentile_execution_duration_s(self, q: float) -> float:
+        durations = self.execution_durations_s()
+        return float(np.quantile(durations, q)) if durations else float("nan")
+
+    def cold_start_rate(self) -> float:
+        if not self.requests:
+            return float("nan")
+        return self.cold_starts / len(self.requests)
+
+    def max_instances(self) -> int:
+        if not self.instance_timeline:
+            return 0
+        return max(count for _, count in self.instance_timeline)
+
+    def duration_timeline(self, bucket_s: float = 10.0) -> List[Dict[str, float]]:
+        """Mean / median / p95 execution duration per time bucket (Figure 6 right)."""
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        buckets: Dict[int, List[float]] = {}
+        for request in self.requests:
+            bucket = int(request.arrival_s // bucket_s)
+            buckets.setdefault(bucket, []).append(request.execution_duration_s)
+        instance_by_bucket: Dict[int, List[int]] = {}
+        for ts, count in self.instance_timeline:
+            instance_by_bucket.setdefault(int(ts // bucket_s), []).append(count)
+        rows: List[Dict[str, float]] = []
+        for bucket in sorted(buckets):
+            durations = np.asarray(buckets[bucket])
+            instances = instance_by_bucket.get(bucket, [])
+            rows.append(
+                {
+                    "time_s": bucket * bucket_s,
+                    "mean_duration_s": float(np.mean(durations)),
+                    "median_duration_s": float(np.median(durations)),
+                    "p95_duration_s": float(np.quantile(durations, 0.95)),
+                    "requests": float(durations.size),
+                    "instances": float(np.mean(instances)) if instances else float("nan"),
+                }
+            )
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        durations = self.execution_durations_s()
+        if not durations:
+            return {"num_requests": 0.0}
+        return {
+            "num_requests": float(len(durations)),
+            "mean_execution_duration_s": float(np.mean(durations)),
+            "median_execution_duration_s": float(np.median(durations)),
+            "p95_execution_duration_s": float(np.quantile(durations, 0.95)),
+            "cold_start_rate": self.cold_start_rate(),
+            "max_instances": float(self.max_instances()),
+        }

@@ -1,0 +1,195 @@
+"""Sandbox lifecycle: initialisation, execution, keep-alive, shutdown.
+
+A sandbox is the unit the platform allocates resources to (a container, pod or
+microVM).  Its lifecycle matches the paper's description of the serverless
+runtime sandbox: initialisation (cold start), request execution, keep-alive,
+and shutdown.  Under the multi-concurrency model several requests may be
+admitted into one sandbox at the same time; of those, up to ``runtime_workers``
+execute in parallel (sharing the sandbox's vCPUs under processor sharing, see
+:mod:`repro.platform.concurrency`) while the rest wait in the sandbox's local
+queue.  The wait is visible in end-to-end latency but not in the
+provider-reported execution duration, matching how platforms report the metric
+the paper plots.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.platform.concurrency import ContentionModel
+
+__all__ = ["SandboxState", "ActiveRequest", "Sandbox"]
+
+_sandbox_counter = itertools.count()
+_EPS = 1e-12
+
+
+class SandboxState(str, enum.Enum):
+    """Lifecycle states of a sandbox."""
+
+    INITIALIZING = "initializing"
+    BUSY = "busy"
+    IDLE = "idle"  # keep-alive phase
+    TERMINATED = "terminated"
+
+
+@dataclass
+class ActiveRequest:
+    """A request admitted into a sandbox (executing or waiting for a runtime worker)."""
+
+    request_id: str
+    arrival_s: float
+    admitted_s: float
+    remaining_cpu_s: float
+    io_remaining_s: float
+    overhead_s: float
+    cold_start: bool
+    init_wait_s: float = 0.0
+    exec_start_s: Optional[float] = None
+
+
+@dataclass
+class Sandbox:
+    """One sandbox instance of a function."""
+
+    function_name: str
+    alloc_vcpus: float
+    alloc_memory_gb: float
+    contention: ContentionModel
+    created_s: float
+    init_duration_s: float
+    runtime_workers: int = 1_000_000
+    name: str = field(default="")
+
+    state: SandboxState = field(default=SandboxState.INITIALIZING, init=False)
+    ready_s: float = field(default=0.0, init=False)
+    last_busy_s: float = field(default=0.0, init=False)
+    keep_alive_deadline_s: float = field(default=float("inf"), init=False)
+    #: Requests currently executing (at most ``runtime_workers``).
+    executing: Dict[str, ActiveRequest] = field(default_factory=dict, init=False)
+    #: Admitted requests waiting for a runtime worker, in FIFO order.
+    waiting: List[ActiveRequest] = field(default_factory=list, init=False)
+    _last_progress_update_s: float = field(default=0.0, init=False)
+    served_requests: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"sandbox-{next(_sandbox_counter)}"
+        if self.runtime_workers < 1:
+            raise ValueError("runtime_workers must be >= 1")
+        self.ready_s = self.created_s + self.init_duration_s
+        self._last_progress_update_s = self.ready_s
+        self.last_busy_s = self.ready_s
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+
+    @property
+    def concurrency(self) -> int:
+        """Total admitted requests (executing plus waiting) -- the platform's view."""
+        return len(self.executing) + len(self.waiting)
+
+    @property
+    def is_available(self) -> bool:
+        return self.state in (SandboxState.BUSY, SandboxState.IDLE)
+
+    def mark_ready(self, now_s: float) -> None:
+        """Initialisation finished; the sandbox can accept requests."""
+        if self.state is not SandboxState.INITIALIZING:
+            raise RuntimeError(f"sandbox {self.name} is not initialising")
+        self.state = SandboxState.IDLE
+        self.ready_s = now_s
+        self._last_progress_update_s = now_s
+        self.last_busy_s = now_s
+
+    def terminate(self, now_s: float) -> None:
+        if self.executing or self.waiting:
+            raise RuntimeError(f"cannot terminate sandbox {self.name} with active requests")
+        self.state = SandboxState.TERMINATED
+        self.last_busy_s = now_s
+
+    # ------------------------------------------------------------------
+    # Processor-sharing execution
+    # ------------------------------------------------------------------
+
+    def advance(self, now_s: float) -> None:
+        """Advance executing requests' progress to ``now_s`` under processor sharing."""
+        if now_s < self._last_progress_update_s - 1e-9:
+            raise ValueError("time went backwards in sandbox advance")
+        elapsed = max(now_s - self._last_progress_update_s, 0.0)
+        self._last_progress_update_s = now_s
+        if elapsed <= 0 or not self.executing:
+            return
+        n = len(self.executing)
+        rate = self.contention.per_request_rate(n, self.alloc_vcpus)
+        for request in self.executing.values():
+            if request.remaining_cpu_s > 0:
+                consumed = min(request.remaining_cpu_s, elapsed * rate)
+                request.remaining_cpu_s -= consumed
+                # IO only starts after the CPU phase finishes; leftover elapsed
+                # time beyond the CPU completion counts toward IO.
+                leftover = elapsed - (consumed / rate if rate > 0 else 0.0)
+                if request.remaining_cpu_s <= _EPS and leftover > 0:
+                    request.io_remaining_s = max(request.io_remaining_s - leftover, 0.0)
+            else:
+                request.io_remaining_s = max(request.io_remaining_s - elapsed, 0.0)
+
+    def admit(self, request: ActiveRequest, now_s: float) -> None:
+        """Admit a request: it starts executing if a runtime worker is free, else waits."""
+        self.advance(now_s)
+        if len(self.executing) < self.runtime_workers:
+            request.exec_start_s = now_s
+            self.executing[request.request_id] = request
+        else:
+            self.waiting.append(request)
+        self.state = SandboxState.BUSY
+        self.keep_alive_deadline_s = float("inf")
+
+    def completed_requests(self) -> Dict[str, ActiveRequest]:
+        """Executing requests whose CPU and IO phases have both finished."""
+        return {
+            rid: req
+            for rid, req in self.executing.items()
+            if req.remaining_cpu_s <= _EPS and req.io_remaining_s <= _EPS
+        }
+
+    def remove(self, request_id: str, now_s: float) -> ActiveRequest:
+        """Remove a finished request and promote the oldest waiting request, if any."""
+        request = self.executing.pop(request_id)
+        self.served_requests += 1
+        if self.waiting and len(self.executing) < self.runtime_workers:
+            promoted = self.waiting.pop(0)
+            promoted.exec_start_s = now_s
+            self.executing[promoted.request_id] = promoted
+        if not self.executing and not self.waiting:
+            self.state = SandboxState.IDLE
+            self.last_busy_s = now_s
+        return request
+
+    def next_completion_time(self, now_s: float) -> Optional[float]:
+        """Earliest time at which some executing request could finish, given current sharing."""
+        if not self.executing:
+            return None
+        n = len(self.executing)
+        rate = self.contention.per_request_rate(n, self.alloc_vcpus)
+        best: Optional[float] = None
+        for request in self.executing.values():
+            if request.remaining_cpu_s > _EPS:
+                if rate <= 0:
+                    continue
+                t = now_s + request.remaining_cpu_s / rate + request.io_remaining_s
+            else:
+                t = now_s + request.io_remaining_s
+            if best is None or t < best:
+                best = t
+        return best
+
+    def idle_time(self, now_s: float) -> float:
+        """How long the sandbox has been idle (0 when busy or initialising)."""
+        if self.state is not SandboxState.IDLE:
+            return 0.0
+        return max(now_s - self.last_busy_s, 0.0)

@@ -1,0 +1,49 @@
+"""OS CPU scheduling simulator: cgroup CPU bandwidth control under CFS / EEVDF (paper §4).
+
+The simulator reproduces the mechanism the paper identifies as the source of
+CPU overallocation on public serverless platforms:
+
+- each cgroup has a *CPU bandwidth control* state (period ``P``, quota ``Q``,
+  a global runtime pool refilled once per period by an hrtimer, and per-CPU
+  local pools that acquire runtime from the global pool in slices),
+- runtime accounting happens at scheduler ticks (``CONFIG_HZ``) and context
+  switches, so a task can *overrun* its quota by up to roughly one tick before
+  it is throttled,
+- when both pools are exhausted the task is throttled and waits for the next
+  period refill (possibly several periods when it has accumulated debt).
+
+The engine is a discrete-event simulation of that state machine; the profiler
+implements the paper's Algorithm 1 (user-space throttle detection from
+monotonic-clock jumps), and :mod:`repro.sched.analytical` implements the
+closed-form duration model of Equation (2).
+"""
+
+from repro.sched.task import SimTask, TaskPhase, TaskState
+from repro.sched.cgroup import BandwidthConfig, BandwidthController
+from repro.sched.engine import SchedulerConfig, SchedulerSim, SimulationResult, TaskResult
+from repro.sched.policies import SchedulingPolicy
+from repro.sched.profiler import ThrottleEvent, ThrottleProfile, profile_task_result
+from repro.sched.analytical import (
+    expected_duration_reciprocal,
+    theoretical_duration,
+    theoretical_duration_series,
+)
+
+__all__ = [
+    "SimTask",
+    "TaskPhase",
+    "TaskState",
+    "BandwidthConfig",
+    "BandwidthController",
+    "SchedulerConfig",
+    "SchedulerSim",
+    "SimulationResult",
+    "TaskResult",
+    "SchedulingPolicy",
+    "ThrottleEvent",
+    "ThrottleProfile",
+    "profile_task_result",
+    "expected_duration_reciprocal",
+    "theoretical_duration",
+    "theoretical_duration_series",
+]

@@ -1,0 +1,72 @@
+"""Provider scheduling presets inferred by the paper (Table 3) and local-run settings.
+
+The paper infers each provider's CPU bandwidth-control period and scheduler
+tick frequency by profiling functions from user space and matching the
+observed throttle patterns against local runs with known settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sched.cgroup import BandwidthConfig
+from repro.sched.engine import SchedulerConfig
+from repro.sched.policies import PolicyParameters, SchedulingPolicy
+
+__all__ = ["ProviderSchedulingPreset", "PROVIDER_SCHED_PRESETS", "scheduler_config_for"]
+
+
+@dataclass(frozen=True)
+class ProviderSchedulingPreset:
+    """One row of the paper's Table 3: inferred scheduling parameters of a provider."""
+
+    provider: str
+    period_s: float
+    tick_hz: int
+    policy: SchedulingPolicy = SchedulingPolicy.CFS
+    description: str = ""
+
+
+#: Table 3 (as of 2025-05-15): providers do not share a unanimous configuration.
+PROVIDER_SCHED_PRESETS: Dict[str, ProviderSchedulingPreset] = {
+    "aws_lambda": ProviderSchedulingPreset(
+        provider="aws_lambda",
+        period_s=0.020,
+        tick_hz=250,
+        description="AWS Lambda: 20 ms bandwidth period, CONFIG_HZ=250",
+    ),
+    "gcp_run_functions": ProviderSchedulingPreset(
+        provider="gcp_run_functions",
+        period_s=0.100,
+        tick_hz=1000,
+        description="Google Cloud Run functions: 100 ms bandwidth period, CONFIG_HZ=1000",
+    ),
+    "ibm_code_engine": ProviderSchedulingPreset(
+        provider="ibm_code_engine",
+        period_s=0.010,
+        tick_hz=250,
+        description="IBM Cloud Code Engine functions: 10 ms bandwidth period, CONFIG_HZ=250",
+    ),
+}
+
+
+def scheduler_config_for(
+    provider: str,
+    vcpu_fraction: float,
+    horizon_s: float = 60.0,
+    tick_phase_s: float = 0.0,
+    period_phase_s: float = 0.0,
+    policy: SchedulingPolicy = SchedulingPolicy.CFS,
+) -> SchedulerConfig:
+    """Build a :class:`SchedulerConfig` matching one provider preset and vCPU allocation."""
+    preset = PROVIDER_SCHED_PRESETS[provider]
+    bandwidth = BandwidthConfig.for_vcpu_fraction(vcpu_fraction, period_s=preset.period_s)
+    return SchedulerConfig(
+        bandwidth=bandwidth,
+        tick_hz=preset.tick_hz,
+        policy=PolicyParameters(policy=policy),
+        tick_phase_s=tick_phase_s,
+        period_phase_s=period_phase_s,
+        horizon_s=horizon_s,
+    )

@@ -1,0 +1,123 @@
+"""Calibration targets and checks for the synthetic trace.
+
+The paper reports aggregate statistics of the Huawei production trace that the
+synthetic generator is calibrated against.  This module records those targets
+and provides a validation routine so that tests (and users) can verify a
+generated trace is statistically in range before drawing conclusions from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.traces.schema import Trace
+from repro.traces.statistics import pearson_correlation, spearman_correlation
+
+__all__ = ["CalibrationTarget", "PAPER_TARGETS", "check_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One calibration target: a named statistic with an acceptable range."""
+
+    name: str
+    paper_value: float
+    lower: float
+    upper: float
+    description: str
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+#: Statistics of the Huawei trace quoted in the paper, with tolerance bands
+#: wide enough for a synthetic reproduction (shape, not exact numbers).
+PAPER_TARGETS: Dict[str, CalibrationTarget] = {
+    "mean_duration_s": CalibrationTarget(
+        name="mean_duration_s",
+        paper_value=0.05819,
+        lower=0.02,
+        upper=0.20,
+        description="Mean execution duration (paper: 58.19 ms)",
+    ),
+    "mean_cpu_time_s": CalibrationTarget(
+        name="mean_cpu_time_s",
+        paper_value=0.0518,
+        lower=0.005,
+        upper=0.20,
+        description="Mean consumed CPU time across CPU-reporting requests (paper: 51.8 ms)",
+    ),
+    "cpu_util_below_half": CalibrationTarget(
+        name="cpu_util_below_half",
+        paper_value=0.65,
+        lower=0.45,
+        upper=0.90,
+        description="Fraction of requests using < 50% of allotted CPU (paper: >65%)",
+    ),
+    "mem_util_below_half": CalibrationTarget(
+        name="mem_util_below_half",
+        paper_value=0.76,
+        lower=0.50,
+        upper=0.95,
+        description="Fraction of requests using < 50% of allotted memory (paper: ~76%)",
+    ),
+    "util_pearson": CalibrationTarget(
+        name="util_pearson",
+        paper_value=0.552,
+        lower=0.25,
+        upper=0.80,
+        description="Pearson correlation between CPU and memory utilisation (paper: 0.552)",
+    ),
+    "util_spearman": CalibrationTarget(
+        name="util_spearman",
+        paper_value=0.565,
+        lower=0.25,
+        upper=0.80,
+        description="Spearman correlation between CPU and memory utilisation (paper: 0.565)",
+    ),
+}
+
+
+def compute_calibration_statistics(trace: Trace) -> Dict[str, float]:
+    """Compute the calibration statistics of a trace."""
+    requests = trace.exclude_zero_cpu().requests
+    if not requests:
+        raise ValueError("trace has no CPU-reporting requests")
+    n = len(requests)
+    cpu_utils = [r.cpu_utilization for r in requests]
+    mem_utils = [r.memory_utilization for r in requests]
+    return {
+        "mean_duration_s": sum(r.duration_s for r in requests) / n,
+        "mean_cpu_time_s": sum(r.usage.cpu_seconds for r in requests) / n,
+        "cpu_util_below_half": sum(1 for u in cpu_utils if u < 0.5) / n,
+        "mem_util_below_half": sum(1 for u in mem_utils if u < 0.5) / n,
+        "util_pearson": pearson_correlation(cpu_utils, mem_utils),
+        "util_spearman": spearman_correlation(cpu_utils, mem_utils),
+    }
+
+
+def check_calibration(trace: Trace) -> Dict[str, Dict[str, object]]:
+    """Check a trace against the paper's calibration targets.
+
+    Returns a mapping from statistic name to a dictionary containing the
+    measured value, the paper value, the acceptable range and a pass flag.
+    """
+    measured = compute_calibration_statistics(trace)
+    report: Dict[str, Dict[str, object]] = {}
+    for name, target in PAPER_TARGETS.items():
+        value = measured[name]
+        report[name] = {
+            "measured": value,
+            "paper": target.paper_value,
+            "lower": target.lower,
+            "upper": target.upper,
+            "ok": target.contains(value),
+            "description": target.description,
+        }
+    return report
+
+
+def calibration_failures(trace: Trace) -> List[str]:
+    """Return the names of calibration targets the trace fails (empty when calibrated)."""
+    return [name for name, entry in check_calibration(trace).items() if not entry["ok"]]

@@ -1,0 +1,120 @@
+"""Trace serialisation: CSV and JSONL round-tripping of request records.
+
+Production traces arrive as flat tables; these helpers let examples and users
+persist synthetic traces and re-load them for analysis without regenerating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.traces.schema import RequestRecord, ResourceUsage
+
+__all__ = [
+    "write_requests_csv",
+    "read_requests_csv",
+    "write_requests_jsonl",
+    "read_requests_jsonl",
+]
+
+_CSV_FIELDS = [
+    "request_id",
+    "function_id",
+    "pod_id",
+    "arrival_s",
+    "duration_s",
+    "cpu_seconds",
+    "memory_gb",
+    "alloc_vcpus",
+    "alloc_memory_gb",
+    "cold_start",
+    "init_duration_s",
+]
+
+
+def _record_to_row(record: RequestRecord) -> dict:
+    return {
+        "request_id": record.request_id,
+        "function_id": record.function_id,
+        "pod_id": record.pod_id,
+        "arrival_s": record.arrival_s,
+        "duration_s": record.duration_s,
+        "cpu_seconds": record.usage.cpu_seconds,
+        "memory_gb": record.usage.memory_gb,
+        "alloc_vcpus": record.alloc_vcpus,
+        "alloc_memory_gb": record.alloc_memory_gb,
+        "cold_start": record.cold_start,
+        "init_duration_s": record.init_duration_s,
+    }
+
+
+def _row_to_record(row: dict) -> RequestRecord:
+    cold_raw = row["cold_start"]
+    if isinstance(cold_raw, str):
+        cold = cold_raw.strip().lower() in ("true", "1", "yes")
+    else:
+        cold = bool(cold_raw)
+    return RequestRecord(
+        request_id=str(row["request_id"]),
+        function_id=str(row["function_id"]),
+        pod_id=str(row["pod_id"]),
+        arrival_s=float(row["arrival_s"]),
+        duration_s=float(row["duration_s"]),
+        usage=ResourceUsage(
+            cpu_seconds=float(row["cpu_seconds"]),
+            memory_gb=float(row["memory_gb"]),
+        ),
+        alloc_vcpus=float(row["alloc_vcpus"]),
+        alloc_memory_gb=float(row["alloc_memory_gb"]),
+        cold_start=cold,
+        init_duration_s=float(row["init_duration_s"]) if cold else 0.0,
+    )
+
+
+def write_requests_csv(path: Union[str, Path], requests: Iterable[RequestRecord]) -> int:
+    """Write request records to a CSV file; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for record in requests:
+            writer.writerow(_record_to_row(record))
+            count += 1
+    return count
+
+
+def read_requests_csv(path: Union[str, Path]) -> List[RequestRecord]:
+    """Read request records from a CSV file written by :func:`write_requests_csv`."""
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        return [_row_to_record(row) for row in reader]
+
+
+def write_requests_jsonl(path: Union[str, Path], requests: Iterable[RequestRecord]) -> int:
+    """Write request records to a JSON-lines file; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for record in requests:
+            handle.write(json.dumps(_record_to_row(record)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_requests_jsonl(path: Union[str, Path]) -> List[RequestRecord]:
+    """Read request records from a JSON-lines file."""
+    path = Path(path)
+    records: List[RequestRecord] = []
+    with path.open("r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(_row_to_record(json.loads(line)))
+    return records

@@ -1,0 +1,146 @@
+"""Statistics helpers used throughout the analysis modules.
+
+The paper reports CDFs, means, percentiles and Pearson / Spearman correlation
+coefficients over hundreds of millions of requests.  These helpers operate on
+plain sequences (or numpy arrays) so that the analysis code stays free of any
+heavyweight dataframe dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_points",
+    "quantile",
+    "describe",
+    "pearson_correlation",
+    "spearman_correlation",
+    "histogram",
+    "geometric_mean",
+]
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)`` for the empirical CDF.
+
+    Probabilities are ``i / n`` for the i-th smallest value (1-indexed), i.e.
+    the right-continuous empirical distribution function evaluated at the data
+    points.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return np.array([]), np.array([])
+    sorted_values = np.sort(data)
+    probabilities = np.arange(1, sorted_values.size + 1, dtype=float) / sorted_values.size
+    return sorted_values, probabilities
+
+
+def cdf_points(values: Sequence[float], num_points: int = 100) -> List[Tuple[float, float]]:
+    """Down-sample an empirical CDF to ``num_points`` (value, probability) pairs.
+
+    Useful for printing compact CDF series in benchmark reports that mirror the
+    paper's CDF figures without emitting one row per request.
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    sorted_values, probabilities = empirical_cdf(values)
+    if sorted_values.size == 0:
+        return []
+    if sorted_values.size <= num_points:
+        return list(zip(sorted_values.tolist(), probabilities.tolist()))
+    indices = np.linspace(0, sorted_values.size - 1, num_points).round().astype(int)
+    return [(float(sorted_values[i]), float(probabilities[i])) for i in indices]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Return the q-quantile (q in [0, 1]) using linear interpolation."""
+    if not 0 <= q <= 1:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return math.nan
+    return float(np.quantile(data, q))
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Return a summary dictionary: count, mean, std, min, p5, p50, p95, p99, max."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return {key: math.nan for key in ("count", "mean", "std", "min", "p5", "p50", "p95", "p99", "max")}
+    return {
+        "count": float(data.size),
+        "mean": float(np.mean(data)),
+        "std": float(np.std(data)),
+        "min": float(np.min(data)),
+        "p5": float(np.quantile(data, 0.05)),
+        "p50": float(np.quantile(data, 0.50)),
+        "p95": float(np.quantile(data, 0.95)),
+        "p99": float(np.quantile(data, 0.99)),
+        "max": float(np.max(data)),
+    }
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson (linear) correlation coefficient between two samples."""
+    a = np.asarray(list(x), dtype=float)
+    b = np.asarray(list(y), dtype=float)
+    if a.size != b.size:
+        raise ValueError(f"length mismatch: {a.size} vs {b.size}")
+    if a.size < 2:
+        return math.nan
+    std_a = np.std(a)
+    std_b = np.std(b)
+    if std_a == 0 or std_b == 0:
+        return math.nan
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Assign average ranks, matching scipy.stats.rankdata(method='average')."""
+    sorter = np.argsort(values, kind="mergesort")
+    inv = np.empty_like(sorter)
+    inv[sorter] = np.arange(values.size)
+    sorted_values = values[sorter]
+    # Identify runs of equal values and average their ranks.
+    obs = np.r_[True, sorted_values[1:] != sorted_values[:-1]]
+    dense = obs.cumsum()[inv]
+    counts = np.r_[np.nonzero(obs)[0], values.size]
+    return 0.5 * (counts[dense] + counts[dense - 1] + 1)
+
+
+def spearman_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation coefficient between two samples."""
+    a = np.asarray(list(x), dtype=float)
+    b = np.asarray(list(y), dtype=float)
+    if a.size != b.size:
+        raise ValueError(f"length mismatch: {a.size} vs {b.size}")
+    if a.size < 2:
+        return math.nan
+    return pearson_correlation(_rankdata(a), _rankdata(b))
+
+
+def histogram(values: Sequence[float], bins: int = 20) -> List[Tuple[float, float, int]]:
+    """Return a list of (bin_left, bin_right, count) tuples."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return []
+    counts, edges = np.histogram(data, bins=bins)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return math.nan
+    if np.any(data <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(data))))

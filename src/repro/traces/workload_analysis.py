@@ -1,0 +1,124 @@
+"""Per-function workload characterisation of a trace.
+
+Supports the §5 actionables ("conduct trace-based analysis to pick an
+appropriate platform") and the keep-alive analysis: per-function request
+counts, duration/utilisation statistics, inter-arrival and idle-gap
+distributions, and a classification into the traffic archetypes that drive
+platform choice (steady, bursty, sporadic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.traces.schema import Trace
+
+__all__ = ["FunctionWorkloadStats", "characterize_functions", "idle_gap_distribution", "classify_traffic"]
+
+
+@dataclass(frozen=True)
+class FunctionWorkloadStats:
+    """Summary statistics of one function's requests within a trace."""
+
+    function_id: str
+    num_requests: int
+    mean_duration_s: float
+    p95_duration_s: float
+    mean_cpu_utilization: float
+    mean_memory_utilization: float
+    mean_interarrival_s: float
+    interarrival_cv: float
+    mean_idle_gap_s: float
+    traffic_class: str
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "function_id": self.function_id,  # type: ignore[dict-item]
+            "num_requests": float(self.num_requests),
+            "mean_duration_ms": self.mean_duration_s * 1e3,
+            "p95_duration_ms": self.p95_duration_s * 1e3,
+            "mean_cpu_utilization": self.mean_cpu_utilization,
+            "mean_memory_utilization": self.mean_memory_utilization,
+            "mean_interarrival_s": self.mean_interarrival_s,
+            "interarrival_cv": self.interarrival_cv,
+            "mean_idle_gap_s": self.mean_idle_gap_s,
+            "traffic_class": self.traffic_class,  # type: ignore[dict-item]
+        }
+
+
+def classify_traffic(mean_interarrival_s: float, interarrival_cv: float) -> str:
+    """Classify a function's traffic into steady / bursty / sporadic.
+
+    - *steady*: frequent arrivals with low variability (keep-alive almost always hits),
+    - *bursty*: frequent on average but highly variable (cold starts cluster at burst edges),
+    - *sporadic*: long idle gaps; keep-alive windows expire and most requests are cold.
+    """
+    if not np.isfinite(mean_interarrival_s):
+        return "sporadic"
+    if mean_interarrival_s > 300.0:
+        return "sporadic"
+    if interarrival_cv > 1.5:
+        return "bursty"
+    return "steady"
+
+
+def idle_gap_distribution(trace: Trace, function_id: Optional[str] = None) -> List[float]:
+    """Idle gaps (end of one request to arrival of the next) per function.
+
+    These gaps are what the keep-alive policies of §3.3 act on; feeding them to
+    :func:`repro.platform.keepalive_cost.estimate_keepalive_cost` estimates the
+    provider-side keep-alive footprint for real traffic.
+    """
+    gaps: List[float] = []
+    function_ids = [function_id] if function_id else list({r.function_id for r in trace.requests})
+    for fid in function_ids:
+        requests = sorted(trace.requests_for_function(fid), key=lambda r: r.arrival_s)
+        for previous, current in zip(requests, requests[1:]):
+            gap = current.arrival_s - (previous.arrival_s + previous.duration_s)
+            if gap >= 0:
+                gaps.append(gap)
+    return gaps
+
+
+def characterize_functions(trace: Trace, min_requests: int = 2) -> List[FunctionWorkloadStats]:
+    """Per-function workload statistics for every function with at least ``min_requests``."""
+    if min_requests < 1:
+        raise ValueError("min_requests must be >= 1")
+    stats: List[FunctionWorkloadStats] = []
+    by_function: Dict[str, List] = {}
+    for record in trace.requests:
+        by_function.setdefault(record.function_id, []).append(record)
+    for function_id, records in sorted(by_function.items()):
+        if len(records) < min_requests:
+            continue
+        records = sorted(records, key=lambda r: r.arrival_s)
+        durations = np.array([r.duration_s for r in records])
+        arrivals = np.array([r.arrival_s for r in records])
+        interarrivals = np.diff(arrivals)
+        idle_gaps = np.maximum(
+            arrivals[1:] - (arrivals[:-1] + durations[:-1]), 0.0
+        ) if len(records) > 1 else np.array([])
+        mean_interarrival = float(np.mean(interarrivals)) if interarrivals.size else float("inf")
+        interarrival_cv = (
+            float(np.std(interarrivals) / np.mean(interarrivals))
+            if interarrivals.size and np.mean(interarrivals) > 0
+            else 0.0
+        )
+        stats.append(
+            FunctionWorkloadStats(
+                function_id=function_id,
+                num_requests=len(records),
+                mean_duration_s=float(np.mean(durations)),
+                p95_duration_s=float(np.quantile(durations, 0.95)),
+                mean_cpu_utilization=float(np.mean([r.cpu_utilization for r in records])),
+                mean_memory_utilization=float(np.mean([r.memory_utilization for r in records])),
+                mean_interarrival_s=mean_interarrival,
+                interarrival_cv=interarrival_cv,
+                mean_idle_gap_s=float(np.mean(idle_gaps)) if idle_gaps.size else float("inf"),
+                traffic_class=classify_traffic(mean_interarrival, interarrival_cv),
+            )
+        )
+    return stats

@@ -1,0 +1,40 @@
+"""Synthetic function workloads and traffic generators used by the experiments.
+
+The paper's measurements use FunctionBench's PyAES (compute-bound), a minimal
+echo function (serving-overhead probe), and SeBS's video-processing application
+(a long function decomposed into bursts for the §4.3 exploit).  This package
+provides pure-Python equivalents with the same *shape*: a calibrated CPU-time
+footprint, optional IO phases, and a decomposable pipeline.
+"""
+
+from repro.workloads.functions import (
+    WorkloadSpec,
+    MINIMAL_FUNCTION,
+    PYAES_FUNCTION,
+    VIDEO_PROCESSING_FUNCTION,
+    WORKLOAD_CATALOG,
+    get_workload,
+)
+from repro.workloads.pyaes import aes_ctr_keystream, pyaes_workload, measure_pyaes_cpu_seconds
+from repro.workloads.traffic import (
+    burst_arrivals,
+    constant_rate_arrivals,
+    idle_gap_probe_arrivals,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "MINIMAL_FUNCTION",
+    "PYAES_FUNCTION",
+    "VIDEO_PROCESSING_FUNCTION",
+    "WORKLOAD_CATALOG",
+    "get_workload",
+    "aes_ctr_keystream",
+    "pyaes_workload",
+    "measure_pyaes_cpu_seconds",
+    "burst_arrivals",
+    "constant_rate_arrivals",
+    "idle_gap_probe_arrivals",
+    "poisson_arrivals",
+]

@@ -1,0 +1,137 @@
+"""A pure-Python AES-CTR workload equivalent to FunctionBench's PyAES.
+
+The paper's compute-bound benchmark function encrypts a block of text with a
+pure-Python AES implementation.  This module provides the same kind of
+single-threaded, CPU-bound kernel so that examples can execute real work (and
+so the simulator's CPU-time footprints can be calibrated against a real
+measurement on the host running the reproduction).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+__all__ = ["aes_ctr_keystream", "pyaes_workload", "measure_pyaes_cpu_seconds"]
+
+# AES S-box (FIPS-197).
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+    0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+    0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+    0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+    0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+    0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+    0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+    0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+    0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+    0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+    0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _expand_key(key: Sequence[int]) -> List[List[int]]:
+    """AES-128 key expansion into 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ValueError("AES-128 requires a 16-byte key")
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [sum(words[i : i + 4], []) for i in range(0, 44, 4)]
+
+
+def _encrypt_block(block: Sequence[int], round_keys: List[List[int]]) -> List[int]:
+    """Encrypt one 16-byte block with AES-128."""
+    state = [b ^ k for b, k in zip(block, round_keys[0])]
+    for round_index in range(1, 10):
+        state = [_SBOX[b] for b in state]
+        state = _shift_rows(state)
+        state = _mix_columns(state)
+        state = [b ^ k for b, k in zip(state, round_keys[round_index])]
+    state = [_SBOX[b] for b in state]
+    state = _shift_rows(state)
+    state = [b ^ k for b, k in zip(state, round_keys[10])]
+    return state
+
+
+def _shift_rows(state: Sequence[int]) -> List[int]:
+    out = list(state)
+    for row in range(1, 4):
+        rotated = [state[row + 4 * ((col + row) % 4)] for col in range(4)]
+        for col in range(4):
+            out[row + 4 * col] = rotated[col]
+    return out
+
+
+def _mix_columns(state: Sequence[int]) -> List[int]:
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = _xtime(a[0]) ^ (_xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3]
+        out[4 * col + 1] = a[0] ^ _xtime(a[1]) ^ (_xtime(a[2]) ^ a[2]) ^ a[3]
+        out[4 * col + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ (_xtime(a[3]) ^ a[3])
+        out[4 * col + 3] = (_xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ _xtime(a[3])
+    return out
+
+
+def aes_ctr_keystream(key: bytes, nonce: int, num_blocks: int) -> bytes:
+    """Generate ``num_blocks`` 16-byte AES-CTR keystream blocks (the PyAES hot loop)."""
+    if num_blocks < 0:
+        raise ValueError("num_blocks must be >= 0")
+    round_keys = _expand_key(list(key))
+    stream = bytearray()
+    for counter in range(num_blocks):
+        block_input = list(((nonce + counter) & ((1 << 128) - 1)).to_bytes(16, "big"))
+        stream.extend(_encrypt_block(block_input, round_keys))
+    return bytes(stream)
+
+
+def pyaes_workload(message: bytes, key: bytes = b"reproserverless!", nonce: int = 1) -> bytes:
+    """Encrypt ``message`` with AES-CTR: the FunctionBench PyAES equivalent."""
+    num_blocks = (len(message) + 15) // 16
+    keystream = aes_ctr_keystream(key, nonce, num_blocks)
+    return bytes(m ^ k for m, k in zip(message, keystream[: len(message)]))
+
+
+def measure_pyaes_cpu_seconds(message_size_bytes: int = 4096, repetitions: int = 3) -> float:
+    """Measure the host CPU time of one PyAES request (used to calibrate simulations).
+
+    For very small messages a single run can be below the process-time clock
+    resolution, so each measurement loops the workload until at least ~2 ms of
+    CPU time has accumulated and reports the per-run average.
+    """
+    if message_size_bytes <= 0 or repetitions <= 0:
+        raise ValueError("message_size_bytes and repetitions must be positive")
+    message = bytes(range(256)) * (message_size_bytes // 256 + 1)
+    message = message[:message_size_bytes]
+    best = float("inf")
+    for _ in range(repetitions):
+        runs = 0
+        start = time.process_time()
+        while True:
+            pyaes_workload(message)
+            runs += 1
+            elapsed = time.process_time() - start
+            if elapsed >= 0.002 or runs >= 1000:
+                break
+        best = min(best, elapsed / runs)
+    return best

@@ -1,0 +1,21 @@
+"""Shared pytest fixtures: small, deterministic substrates reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small synthetic trace (2,000 requests) shared by billing/analysis tests."""
+    config = TraceGeneratorConfig(num_requests=2_000, num_functions=40, seed=7)
+    return TraceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def calibrated_trace():
+    """A mid-sized trace used by calibration-sensitive tests (10,000 requests)."""
+    config = TraceGeneratorConfig(num_requests=10_000, num_functions=100, seed=2026)
+    return TraceGenerator(config).generate()

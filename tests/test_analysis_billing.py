@@ -1,0 +1,154 @@
+"""Tests for the §2 analysis modules (Figures 2-5) against the paper's qualitative findings."""
+
+import math
+
+import pytest
+
+from repro.analysis.coldstart import figure4_cdf_series, figure4_differences, figure4_summary
+from repro.analysis.inflation import figure2_cdf_series, figure2_summary
+from repro.analysis.rounding import (
+    figure5_invocation_fee_equivalents,
+    figure5_rounding_cdf_series,
+    figure5_rounding_summary,
+)
+from repro.analysis.utilization import figure3_cdf_series, figure3_summary, utilization_scatter
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def summary(self, small_trace):
+        return figure2_summary(small_trace)
+
+    def test_one_row_per_platform(self, summary):
+        assert len(summary) == 5
+
+    def test_gcp_highest_memory_inflation(self, summary):
+        by_platform = {row["platform"]: row for row in summary}
+        gcp = by_platform["gcp_run_request"]["memory_inflation"]
+        for name, row in by_platform.items():
+            if row["memory_inflation"] > 0:
+                assert gcp >= row["memory_inflation"]
+
+    def test_cloudflare_cpu_near_actual(self, summary):
+        by_platform = {row["platform"]: row for row in summary}
+        assert by_platform["cloudflare_workers"]["cpu_inflation"] == pytest.approx(1.0, abs=0.1)
+
+    def test_inflation_magnitudes_in_paper_band(self, summary):
+        """Inflation factors land in the single-digit multiples the paper reports (not 100x)."""
+        for row in summary:
+            for key in ("cpu_inflation", "memory_inflation"):
+                if row[key] > 0:
+                    assert row[key] < 10.0
+
+    def test_cdf_series_structure(self, small_trace):
+        series = figure2_cdf_series(small_trace, num_points=20)
+        assert "actual_usage" in series["cpu"]
+        assert "aws_lambda" in series["cpu"]
+        assert "azure_consumption" in series["memory"]
+        assert "azure_consumption" not in series["cpu"]  # Azure bills memory only
+        for points in series["cpu"].values():
+            assert len(points) <= 20
+
+    def test_billable_cdf_dominates_actual(self, small_trace):
+        """The billable-resource CDF sits to the right of the actual-usage CDF."""
+        series = figure2_cdf_series(small_trace, num_points=30)
+        actual_median = [v for v, p in series["cpu"]["actual_usage"] if p >= 0.5][0]
+        gcp_median = [v for v, p in series["cpu"]["gcp_run_request"] if p >= 0.5][0]
+        assert gcp_median > actual_median
+
+
+class TestFigure3:
+    def test_summary_metrics(self, small_trace):
+        rows = {row["metric"]: row["measured"] for row in figure3_summary(small_trace)}
+        assert 0.3 <= rows["cpu_below_half_fraction"] <= 0.95
+        assert 0.4 <= rows["memory_below_half_fraction"] <= 0.95
+        assert 0.25 <= rows["pearson"] <= 0.85
+        assert 0.25 <= rows["spearman"] <= 0.85
+
+    def test_most_requests_underutilize_resources(self, small_trace):
+        """I3: functions rarely consume their full allocation."""
+        rows = {row["metric"]: row["measured"] for row in figure3_summary(small_trace)}
+        assert rows["cpu_below_half_fraction"] > 0.3
+        assert rows["memory_below_half_fraction"] > 0.4
+
+    def test_cdf_series(self, small_trace):
+        series = figure3_cdf_series(small_trace)
+        assert set(series) == {"cpu_utilization", "memory_utilization"}
+        for points in series.values():
+            values = [v for v, _ in points]
+            assert all(0 <= v <= 1 for v in values)
+
+    def test_scatter_downsampled(self, small_trace):
+        scatter = utilization_scatter(small_trace, sample=100)
+        assert len(scatter) <= 110
+
+
+class TestFigure4:
+    def test_differences_cover_all_cold_starts(self, small_trace):
+        diffs = figure4_differences(small_trace)
+        assert len(diffs["cpu"]) == len(small_trace.cold_starts)
+        assert len(diffs["memory"]) == len(small_trace.cold_starts)
+
+    def test_some_cold_starts_cost_more_than_their_requests(self, small_trace):
+        """§2.4: a substantial fraction of cold starts are never amortised by later requests."""
+        rows = figure4_summary(small_trace)
+        for row in rows:
+            assert 0.05 <= row["negative_or_zero_fraction"] <= 0.95
+
+    def test_cdf_series_keys(self, small_trace):
+        series = figure4_cdf_series(small_trace)
+        assert set(series) == {"cpu", "memory"}
+
+    def test_empty_trace(self):
+        from repro.traces.schema import Trace
+
+        assert figure4_summary(Trace([])) == []
+
+
+class TestFigure5:
+    def test_aws_fee_equivalent_96ms_at_128mb(self):
+        """§2.5: the AWS invocation fee equals ~96 ms of billable time at 128 MB."""
+        rows = figure5_invocation_fee_equivalents(vcpu_sweep=(0.072,))
+        aws = [r for r in rows if r["platform"] == "aws_lambda"][0]
+        assert aws["fee_equivalent_ms"] == pytest.approx(96.0, rel=0.03)
+
+    def test_fee_equivalent_exceeds_mean_duration_for_small_functions(self, small_trace):
+        """§2.5: for small allocations the fee is worth more than the average execution."""
+        rows = figure5_invocation_fee_equivalents(vcpu_sweep=(0.072,))
+        aws = [r for r in rows if r["platform"] == "aws_lambda"][0]
+        mean_duration_ms = (
+            sum(r.duration_s for r in small_trace) / len(small_trace.requests) * 1e3
+        )
+        assert aws["fee_equivalent_ms"] > mean_duration_ms
+
+    def test_ibm_has_no_fee(self):
+        rows = figure5_invocation_fee_equivalents(vcpu_sweep=(0.5,))
+        ibm = [r for r in rows if r["platform"] == "ibm_code_engine"][0]
+        assert ibm["fee_equivalent_ms"] == 0.0
+
+    def test_fee_equivalent_decreases_with_allocation(self):
+        rows = figure5_invocation_fee_equivalents(vcpu_sweep=(0.25, 1.0))
+        aws = [r for r in rows if r["platform"] == "aws_lambda"]
+        assert aws[0]["fee_equivalent_ms"] > aws[1]["fee_equivalent_ms"]
+
+    def test_rounding_summary_orderings(self, small_trace):
+        rows = {row["metric"]: row["measured"] for row in figure5_rounding_summary(small_trace)}
+        # Rounded-up times exceed the raw mean execution time; the 100 ms
+        # granularity inflates more than the 1 ms + cutoff scheme for means
+        # computed over the same requests.
+        assert rows["rounded_time_100ms_gran_ms"] >= rows["mean_execution_ms"]
+        assert rows["rounded_time_1ms_gran_100ms_cutoff_ms"] >= rows["mean_execution_ms"] * 0.9
+        assert rows["rounded_memory_128mb_gran_gb_s"] > 0
+
+    def test_rounded_up_values_same_order_of_magnitude_as_execution(self, small_trace):
+        """§2.5: rounding adds costs on the same order as the execution itself."""
+        rows = {row["metric"]: row["measured"] for row in figure5_rounding_summary(small_trace)}
+        assert rows["rounded_time_100ms_gran_ms"] < 10 * rows["mean_execution_ms"]
+
+    def test_rounding_cdf_series(self, small_trace):
+        series = figure5_rounding_cdf_series(small_trace, num_points=25)
+        assert len(series) == 3
+        values_100ms = [v for v, _ in series["rounded_time_100ms_gran_s"]]
+        # Everything is rounded up to multiples of 100 ms.
+        for value in values_100ms:
+            assert (value * 10) == pytest.approx(round(value * 10), abs=1e-6)

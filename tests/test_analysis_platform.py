@@ -1,0 +1,129 @@
+"""Tests for the §3 analysis modules (Figures 6, 8, 9 and Table 2)."""
+
+import pytest
+
+from repro.analysis.concurrency import (
+    figure6_burst_sweep,
+    figure6_long_run_summary,
+    figure6_long_run_timeline,
+    figure6_slowdown_summary,
+)
+from repro.analysis.keepalive import (
+    figure9_cold_start_probabilities,
+    figure9_probe_simulation,
+    table2_keepalive_behavior,
+)
+from repro.analysis.overhead import figure8_overhead
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return figure6_burst_sweep(rps_sweep=(1, 10, 20), burst_duration_s=60.0)
+
+    def test_rows_per_platform_and_rate(self, sweep):
+        assert len(sweep) == 6
+
+    def test_aws_duration_flat_across_rates(self, sweep):
+        """Figure 6: the single-concurrency platform keeps execution duration stable."""
+        aws = [r["mean_duration_ms"] for r in sweep if r["platform"] == "aws"]
+        assert max(aws) / min(aws) < 1.1
+
+    def test_gcp_duration_rises_with_rate(self, sweep):
+        """Figure 6: the multi-concurrency platform slows down as the request rate grows."""
+        gcp = sorted((r for r in sweep if r["platform"] == "gcp"), key=lambda r: r["rps"])
+        assert gcp[-1]["mean_duration_ms"] > 2.0 * gcp[0]["mean_duration_ms"]
+
+    def test_slowdown_summary(self, sweep):
+        summary = {row["platform"]: row for row in figure6_slowdown_summary(sweep)}
+        assert summary["gcp"]["max_slowdown"] > summary["aws"]["max_slowdown"]
+        assert summary["aws"]["max_slowdown"] == pytest.approx(1.0, abs=0.1)
+
+    def test_long_run_timeline_and_summary(self):
+        timeline = figure6_long_run_timeline(rps=10.0, duration_s=120.0, bucket_s=20.0, seed=4)
+        assert len(timeline) >= 5
+        summary = figure6_long_run_summary(timeline, tail_start_s=80.0)
+        # Scaling eventually kicks in and the steady state is faster than the peak.
+        assert summary["max_instances"] > 1
+        assert summary["steady_state_mean_duration_s"] <= summary["peak_mean_duration_s"]
+
+    def test_long_run_empty_timeline(self):
+        assert figure6_long_run_summary([]) == {}
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure8_overhead(num_requests=150)
+
+    def test_all_configurations_present(self, rows):
+        assert len(rows) == 6
+
+    def test_http_server_has_highest_overhead(self, rows):
+        """I7: HTTP-server platforms show the highest minimal-function duration."""
+        by_arch = {}
+        for row in rows:
+            by_arch.setdefault(row["architecture"], []).append(row["mean_duration_ms"])
+        assert max(by_arch["http_server"]) > max(by_arch["api_polling"]) > max(by_arch["code_execution"])
+
+    def test_cloudflare_near_zero(self, rows):
+        cloudflare = [r for r in rows if r["configuration"] == "cloudflare_workers"][0]
+        assert cloudflare["mean_duration_ms"] < 0.5
+
+    def test_gcp_small_allocation_slower_than_full(self, rows):
+        by_config = {r["configuration"]: r for r in rows}
+        assert by_config["gcp_0.08vcpu"]["mean_duration_ms"] > by_config["gcp_1vcpu"]["mean_duration_ms"]
+
+    def test_aws_overhead_in_low_milliseconds(self, rows):
+        by_config = {r["configuration"]: r for r in rows}
+        assert by_config["aws_1769mb"]["mean_duration_ms"] == pytest.approx(1.2, abs=0.6)
+
+    def test_p95_at_least_mean(self, rows):
+        for row in rows:
+            assert row["p95_duration_ms"] >= row["mean_duration_ms"] * 0.9
+
+
+class TestFigure9AndTable2:
+    def test_probability_rows_cover_grid(self):
+        rows = figure9_cold_start_probabilities(idle_times_s=(60, 300, 600, 900, 1020))
+        assert len(rows) == 3 * 5
+
+    def test_probability_monotonic_in_idle_time(self):
+        rows = figure9_cold_start_probabilities()
+        platforms = {row["platform"] for row in rows}
+        for platform in platforms:
+            series = [r for r in rows if r["platform"] == platform]
+            probabilities = [r["cold_start_probability"] for r in sorted(series, key=lambda r: r["idle_time_s"])]
+            assert probabilities == sorted(probabilities)
+
+    def test_keep_alive_ordering_matches_paper(self):
+        """Figure 9: AWS ~300-360 s, Azure opportunistic and shorter, GCP the longest (~900 s)."""
+        rows = figure9_cold_start_probabilities(idle_times_s=(330.0, 700.0))
+        by_key = {(r["platform"], r["idle_time_s"]): r["cold_start_probability"] for r in rows}
+        assert by_key[("azure_consumption_like", 330.0)] >= by_key[("aws_lambda_like", 330.0)]
+        assert by_key[("gcp_run_like", 700.0)] < 1.0
+        assert by_key[("aws_lambda_like", 700.0)] == 1.0
+
+    def test_probe_simulation_matches_policy(self):
+        rows = figure9_probe_simulation(
+            platform_name="aws_lambda_like",
+            idle_times_s=(120.0, 500.0),
+            probes_per_idle_time=10,
+        )
+        by_idle = {r["idle_time_s"]: r for r in rows}
+        assert by_idle[120.0]["measured_cold_start_probability"] == pytest.approx(0.0, abs=0.15)
+        assert by_idle[500.0]["measured_cold_start_probability"] == pytest.approx(1.0, abs=0.15)
+
+    def test_table2_rows(self):
+        rows = {row["platform"]: row for row in table2_keepalive_behavior()}
+        assert rows["aws_lambda_like"]["resource_behavior"] == "freeze_deallocate"
+        assert rows["gcp_run_like"]["resource_behavior"] == "scale_down_cpu"
+        assert rows["azure_consumption_like"]["resource_behavior"] == "full_allocation"
+        assert rows["cloudflare_workers_like"]["resource_behavior"] == "code_cache"
+
+    def test_table2_idle_resources(self):
+        """Table 2: AWS deallocates, GCP keeps ~0.01 vCPU, Azure keeps the full allocation."""
+        rows = {row["platform"]: row for row in table2_keepalive_behavior()}
+        assert rows["aws_lambda_like"]["idle_vcpus_per_1vcpu_sandbox"] == 0.0
+        assert rows["gcp_run_like"]["idle_vcpus_per_1vcpu_sandbox"] == pytest.approx(0.01)
+        assert rows["azure_consumption_like"]["idle_vcpus_per_1vcpu_sandbox"] == pytest.approx(1.0)

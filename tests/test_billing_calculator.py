@@ -1,0 +1,146 @@
+"""Unit tests for the per-invocation billing calculator."""
+
+import pytest
+
+from repro.billing.calculator import BillingCalculator, InvocationBillingInput
+from repro.billing.catalog import PlatformName, get_billing_model
+from repro.billing.units import ResourceKind
+from repro.traces.schema import RequestRecord, ResourceUsage
+
+
+def make_inputs(**overrides):
+    defaults = dict(
+        execution_s=0.1,
+        init_s=0.0,
+        alloc_vcpus=0.5,
+        alloc_memory_gb=0.5,
+        used_cpu_seconds=0.03,
+        used_memory_gb=0.2,
+    )
+    defaults.update(overrides)
+    return InvocationBillingInput(**defaults)
+
+
+class TestAllocationMapping:
+    def test_aws_proportional_mapping_takes_larger_memory(self):
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        allocations = calculator.effective_allocations(make_inputs(alloc_vcpus=1.0, alloc_memory_gb=0.5))
+        # 1 vCPU needs 1,769 MB on AWS, which exceeds the 0.5 GB trace allocation.
+        assert allocations[ResourceKind.MEMORY] == pytest.approx(1769.0 / 1024.0)
+        assert allocations[ResourceKind.CPU] == pytest.approx(1.0)
+
+    def test_aws_mapping_keeps_memory_when_larger(self):
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        allocations = calculator.effective_allocations(make_inputs(alloc_vcpus=0.1, alloc_memory_gb=1.0))
+        assert allocations[ResourceKind.MEMORY] == pytest.approx(1.0)
+
+    def test_non_aws_platform_keeps_trace_allocation(self):
+        calculator = BillingCalculator(PlatformName.GCP_RUN_REQUEST)
+        allocations = calculator.effective_allocations(make_inputs())
+        assert allocations[ResourceKind.CPU] == pytest.approx(0.5)
+        assert allocations[ResourceKind.MEMORY] == pytest.approx(0.5)
+
+
+class TestBillableResources:
+    def test_gcp_time_rounding_inflates_both_resources(self):
+        calculator = BillingCalculator(PlatformName.GCP_RUN_REQUEST)
+        billable = calculator.billable_resources(make_inputs(execution_s=0.010))
+        # 10 ms rounds to 100 ms on GCP.
+        assert billable[ResourceKind.CPU] == pytest.approx(0.5 * 0.1)
+        assert billable[ResourceKind.MEMORY] == pytest.approx(0.5 * 0.1, rel=1e-3)
+
+    def test_cloudflare_bills_only_consumed_cpu(self):
+        calculator = BillingCalculator(PlatformName.CLOUDFLARE_WORKERS)
+        billable = calculator.billable_resources(make_inputs(used_cpu_seconds=0.03))
+        assert billable[ResourceKind.CPU] == pytest.approx(0.03)
+        assert billable.get(ResourceKind.MEMORY, 0.0) == 0.0
+
+    def test_azure_bills_consumed_memory_with_minimum(self):
+        calculator = BillingCalculator(PlatformName.AZURE_CONSUMPTION)
+        billable = calculator.billable_resources(make_inputs(execution_s=0.010, used_memory_gb=0.2))
+        # 0.2 GB -> 0.25 GB (128 MB steps), 10 ms -> 100 ms minimum cutoff.
+        assert billable[ResourceKind.MEMORY] == pytest.approx(0.25 * 0.1)
+
+    def test_aws_embedded_cpu_reported(self):
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        billable = calculator.billable_resources(make_inputs(alloc_vcpus=1.0, execution_s=1.0))
+        assert billable[ResourceKind.CPU] == pytest.approx(1.0, rel=1e-3)
+
+    def test_turnaround_billing_includes_init(self):
+        calculator = BillingCalculator(PlatformName.GCP_RUN_REQUEST)
+        warm = calculator.billable_resources(make_inputs(execution_s=0.1, init_s=0.0))
+        cold = calculator.billable_resources(make_inputs(execution_s=0.1, init_s=1.0))
+        assert cold[ResourceKind.CPU] > warm[ResourceKind.CPU]
+
+
+class TestBilledInvocation:
+    def test_inflation_ratios(self):
+        calculator = BillingCalculator(PlatformName.GCP_RUN_REQUEST)
+        billed = calculator.bill(make_inputs(execution_s=0.05, used_cpu_seconds=0.01))
+        assert billed.cpu_inflation > 1.0
+        assert billed.memory_inflation > 1.0
+
+    def test_zero_usage_inflation_is_infinite(self):
+        calculator = BillingCalculator(PlatformName.GCP_RUN_REQUEST)
+        billed = calculator.bill(make_inputs(used_cpu_seconds=0.0))
+        assert billed.cpu_inflation == float("inf")
+
+    def test_invoice_total_positive(self):
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        billed = calculator.bill(make_inputs())
+        assert billed.invoice.total > 0
+
+    def test_bill_request_record(self, small_trace):
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        record = small_trace.requests[0]
+        billed = calculator.bill_request(record)
+        assert billed.actual_cpu_seconds == pytest.approx(record.usage.cpu_seconds)
+
+    def test_instance_billing_excludes_fee_by_default_flag(self):
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        with_fee = calculator.bill(make_inputs())
+        without_fee = calculator.bill(make_inputs(), include_invocation_fee=False)
+        assert with_fee.invoice.total - without_fee.invoice.total == pytest.approx(2e-7)
+
+    def test_custom_model_accepted(self):
+        model = get_billing_model(PlatformName.HUAWEI_FUNCTIONGRAPH)
+        calculator = BillingCalculator(model)
+        assert calculator.model.platform == "huawei_functiongraph"
+
+
+class TestInvocationFeeEquivalence:
+    def test_aws_128mb_equivalent_96ms(self):
+        """Paper §2.5: the $2e-7 fee equals ~96 ms of billable time at 128 MB."""
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        equivalent = calculator.invocation_fee_equivalent_ms(0.072, 0.125)
+        assert equivalent == pytest.approx(96.0, rel=0.02)
+
+    def test_no_fee_platform_returns_zero(self):
+        calculator = BillingCalculator(PlatformName.IBM_CODE_ENGINE)
+        assert calculator.invocation_fee_equivalent_ms(0.5, 1.0) == 0.0
+
+    def test_fee_equivalent_decreases_with_allocation(self):
+        calculator = BillingCalculator(PlatformName.AWS_LAMBDA)
+        small = calculator.invocation_fee_equivalent_ms(0.125, 0.25)
+        large = calculator.invocation_fee_equivalent_ms(1.0, 1.769)
+        assert small > large
+
+
+class TestFromRequest:
+    def test_round_trip_fields(self):
+        record = RequestRecord(
+            request_id="r",
+            function_id="f",
+            pod_id="p",
+            arrival_s=0.0,
+            duration_s=0.2,
+            usage=ResourceUsage(0.1, 0.3),
+            alloc_vcpus=1.0,
+            alloc_memory_gb=1.0,
+            cold_start=True,
+            init_duration_s=0.7,
+        )
+        inputs = InvocationBillingInput.from_request(record)
+        assert inputs.execution_s == pytest.approx(0.2)
+        assert inputs.init_s == pytest.approx(0.7)
+        assert inputs.used_memory_gb == pytest.approx(0.3)

@@ -1,0 +1,123 @@
+"""Unit tests for the Table 1 billing catalog."""
+
+import pytest
+
+from repro.billing.catalog import PLATFORM_BILLING_MODELS, PlatformName, get_billing_model, list_platforms
+from repro.billing.models import BillableTime
+from repro.billing.units import MB, ResourceKind
+
+
+class TestCatalogCoverage:
+    def test_all_twelve_platforms_present(self):
+        assert len(PLATFORM_BILLING_MODELS) == 12
+
+    def test_every_enum_member_has_model(self):
+        for platform in PlatformName:
+            assert platform in PLATFORM_BILLING_MODELS
+
+    def test_lookup_by_string(self):
+        model = get_billing_model("aws_lambda")
+        assert model.platform == "aws_lambda"
+
+    def test_lookup_by_enum(self):
+        model = get_billing_model(PlatformName.CLOUDFLARE_WORKERS)
+        assert model.platform == "cloudflare_workers"
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(ValueError):
+            get_billing_model("not_a_platform")
+
+    def test_list_platforms_order(self):
+        assert list_platforms()[0] is PlatformName.AWS_LAMBDA
+
+
+class TestTable1Rows:
+    """Each test checks one row of Table 1 against the encoded model."""
+
+    def test_aws_lambda(self):
+        model = get_billing_model(PlatformName.AWS_LAMBDA)
+        assert model.billable_time is BillableTime.TURNAROUND
+        assert model.time_granularity_s == pytest.approx(0.001)
+        assert model.cpu_embedded_in_memory
+        assert model.invocation_fee == pytest.approx(2e-7)
+        assert model.allocation_resources[0].granularity == pytest.approx(1 * MB)
+
+    def test_gcp_request_based(self):
+        model = get_billing_model(PlatformName.GCP_RUN_REQUEST)
+        assert model.billable_time is BillableTime.TURNAROUND
+        assert model.time_granularity_s == pytest.approx(0.1)
+        kinds = {r.kind for r in model.allocation_resources}
+        assert kinds == {ResourceKind.CPU, ResourceKind.MEMORY}
+
+    def test_gcp_instance_based_has_no_fee(self):
+        model = get_billing_model(PlatformName.GCP_RUN_INSTANCE)
+        assert model.billable_time is BillableTime.INSTANCE
+        assert model.invocation_fee == 0.0
+
+    def test_azure_consumption_uses_consumed_memory_with_cutoff(self):
+        model = get_billing_model(PlatformName.AZURE_CONSUMPTION)
+        assert model.billable_time is BillableTime.EXECUTION
+        assert model.minimum_time_s == pytest.approx(0.1)
+        memory = model.allocation_resources[0]
+        assert memory.use_consumption
+        assert memory.granularity == pytest.approx(128 * MB)
+
+    def test_azure_flex_minimum_one_second(self):
+        model = get_billing_model(PlatformName.AZURE_FLEX)
+        assert model.minimum_time_s == pytest.approx(1.0)
+        assert model.time_granularity_s == pytest.approx(0.1)
+
+    def test_azure_premium_instance_billing(self):
+        model = get_billing_model(PlatformName.AZURE_PREMIUM)
+        assert model.billable_time is BillableTime.INSTANCE
+        assert model.invocation_fee == 0.0
+
+    def test_ibm_no_invocation_fee(self):
+        model = get_billing_model(PlatformName.IBM_CODE_ENGINE)
+        assert model.invocation_fee == 0.0
+        assert model.billable_time is BillableTime.TURNAROUND
+
+    def test_huawei_memory_based_1ms(self):
+        model = get_billing_model(PlatformName.HUAWEI_FUNCTIONGRAPH)
+        assert model.time_granularity_s == pytest.approx(0.001)
+        assert model.cpu_embedded_in_memory
+
+    def test_alibaba_decoupled_cpu_memory(self):
+        model = get_billing_model(PlatformName.ALIBABA_FC)
+        cpu = [r for r in model.allocation_resources if r.kind is ResourceKind.CPU][0]
+        memory = [r for r in model.allocation_resources if r.kind is ResourceKind.MEMORY][0]
+        assert cpu.granularity == pytest.approx(0.05)
+        assert memory.granularity == pytest.approx(64 * MB)
+
+    def test_cloudflare_usage_billed_cpu_only(self):
+        model = get_billing_model(PlatformName.CLOUDFLARE_WORKERS)
+        assert model.billable_time is BillableTime.CPU_TIME
+        assert not model.allocation_resources
+        assert model.usage_resources[0].kind is ResourceKind.CPU
+
+    def test_vercel_and_oracle_memory_based(self):
+        for platform in (PlatformName.VERCEL_FUNCTIONS, PlatformName.ORACLE_FUNCTIONS):
+            model = get_billing_model(platform)
+            assert model.cpu_embedded_in_memory
+            assert model.billable_time is BillableTime.EXECUTION
+
+
+class TestPriceConsistency:
+    def test_aws_gcp_equivalent_price_close(self):
+        """§2.2: 1 vCPU + 1,769 MB costs roughly the same on AWS and GCP gen1."""
+        aws = get_billing_model(PlatformName.AWS_LAMBDA)
+        gcp = get_billing_model(PlatformName.GCP_RUN_REQUEST)
+        memory_gb = 1769.0 / 1024.0
+        aws_per_second = aws.allocation_resources[0].unit_price * memory_gb
+        gcp_per_second = sum(
+            r.unit_price * (1.0 if r.kind is ResourceKind.CPU else memory_gb)
+            for r in gcp.allocation_resources
+        )
+        assert aws_per_second == pytest.approx(2.8792e-5, rel=0.02)
+        assert gcp_per_second == pytest.approx(2.8319e-5, rel=0.02)
+
+    def test_invocation_fees_in_paper_range(self):
+        """§2.5: fees between $1.5e-7 and $6e-7 per request where charged."""
+        for model in PLATFORM_BILLING_MODELS.values():
+            if model.invocation_fee > 0:
+                assert 1.5e-7 <= model.invocation_fee <= 6e-7

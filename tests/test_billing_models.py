@@ -1,0 +1,143 @@
+"""Unit tests for the generalised billing model (Equation 1)."""
+
+import pytest
+
+from repro.billing.models import (
+    AllocationBilledResource,
+    BillableTime,
+    BillingModel,
+    UsageBilledResource,
+)
+from repro.billing.units import MB, MILLISECONDS, ResourceKind
+
+
+def simple_model(**overrides):
+    defaults = dict(
+        platform="test",
+        billable_time=BillableTime.EXECUTION,
+        time_granularity_s=1 * MILLISECONDS,
+        allocation_resources=(
+            AllocationBilledResource(kind=ResourceKind.MEMORY, granularity=1 * MB, unit_price=1.6e-5),
+        ),
+        invocation_fee=2e-7,
+    )
+    defaults.update(overrides)
+    return BillingModel(**defaults)
+
+
+class TestBillableSeconds:
+    def test_execution_time_rounded(self):
+        model = simple_model(time_granularity_s=0.1)
+        assert model.billable_seconds(execution_s=0.123) == pytest.approx(0.2)
+
+    def test_turnaround_includes_init(self):
+        model = simple_model(billable_time=BillableTime.TURNAROUND)
+        assert model.billable_seconds(execution_s=0.1, init_s=0.5) == pytest.approx(0.6)
+
+    def test_execution_excludes_init(self):
+        model = simple_model()
+        assert model.billable_seconds(execution_s=0.1, init_s=0.5) == pytest.approx(0.1)
+
+    def test_instance_time_requires_instance_seconds(self):
+        model = simple_model(billable_time=BillableTime.INSTANCE)
+        with pytest.raises(ValueError):
+            model.billable_seconds(execution_s=0.1)
+        assert model.billable_seconds(execution_s=0.1, instance_s=120.0) == pytest.approx(120.0)
+
+    def test_cpu_time_billing(self):
+        model = simple_model(billable_time=BillableTime.CPU_TIME)
+        assert model.billable_seconds(execution_s=0.5, cpu_time_s=0.05) == pytest.approx(0.05)
+
+    def test_minimum_cutoff(self):
+        model = simple_model(minimum_time_s=0.1)
+        assert model.billable_seconds(execution_s=0.003) == pytest.approx(0.1)
+
+    def test_minimum_not_applied_to_zero(self):
+        model = simple_model(minimum_time_s=0.1)
+        assert model.billable_seconds(execution_s=0.0) == 0.0
+
+
+class TestBillableResources:
+    def test_allocation_resource_rounding(self):
+        model = simple_model()
+        billable = model.billable_resources(
+            execution_s=1.0, allocations={ResourceKind.MEMORY: 0.2001}
+        )
+        # 0.2001 GB rounds up to the next MB.
+        assert billable[ResourceKind.MEMORY] == pytest.approx(0.2011, abs=1e-3)
+
+    def test_usage_resource_not_multiplied_by_time(self):
+        model = BillingModel(
+            platform="cf",
+            billable_time=BillableTime.CPU_TIME,
+            usage_resources=(UsageBilledResource(kind=ResourceKind.CPU, granularity=0.001, unit_price=2e-5),),
+        )
+        billable = model.billable_resources(
+            execution_s=10.0, allocations={}, usages={ResourceKind.CPU: 0.05}, cpu_time_s=0.05
+        )
+        assert billable[ResourceKind.CPU] == pytest.approx(0.05)
+
+    def test_consumption_based_allocation_resource(self):
+        model = BillingModel(
+            platform="azure",
+            billable_time=BillableTime.EXECUTION,
+            allocation_resources=(
+                AllocationBilledResource(
+                    kind=ResourceKind.MEMORY, granularity=128 * MB, unit_price=1.6e-5, use_consumption=True
+                ),
+            ),
+        )
+        billable = model.billable_resources(
+            execution_s=1.0,
+            allocations={ResourceKind.MEMORY: 1.5},
+            usages={ResourceKind.MEMORY: 0.2},
+        )
+        # Billed on consumed 0.2 GB rounded to 0.25 GB, not the 1.5 GB allocation.
+        assert billable[ResourceKind.MEMORY] == pytest.approx(0.25)
+
+
+class TestInvoice:
+    def test_total_includes_fee(self):
+        model = simple_model()
+        invoice = model.invoice(execution_s=1.0, allocations={ResourceKind.MEMORY: 1.0})
+        assert invoice.total == pytest.approx(1.6e-5 + 2e-7, rel=1e-6)
+
+    def test_fee_can_be_excluded(self):
+        model = simple_model()
+        invoice = model.invoice(
+            execution_s=1.0, allocations={ResourceKind.MEMORY: 1.0}, include_invocation_fee=False
+        )
+        assert invoice.charge_for("invocation_fee") == 0.0
+
+    def test_line_item_labels(self):
+        model = simple_model()
+        invoice = model.invoice(execution_s=1.0, allocations={ResourceKind.MEMORY: 1.0})
+        labels = {item.label for item in invoice.line_items}
+        assert "alloc:memory" in labels
+        assert "invocation_fee" in labels
+
+    def test_as_dict_contains_total(self):
+        model = simple_model()
+        invoice = model.invoice(execution_s=1.0, allocations={ResourceKind.MEMORY: 1.0})
+        assert invoice.as_dict()["total"] == pytest.approx(invoice.total)
+
+    def test_zero_duration_only_fee(self):
+        model = simple_model()
+        invoice = model.invoice(execution_s=0.0, allocations={ResourceKind.MEMORY: 1.0})
+        assert invoice.total == pytest.approx(2e-7)
+
+
+class TestValidation:
+    def test_negative_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            simple_model(time_granularity_s=-1.0)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(ValueError):
+            simple_model(invocation_fee=-1e-7)
+
+    def test_describe_contains_table1_fields(self):
+        description = simple_model().describe()
+        assert description["billable_time"] == "execution"
+        assert description["time_granularity_ms"] == pytest.approx(1.0)
+        assert description["invocation_fee_usd"] == pytest.approx(2e-7)

@@ -1,0 +1,70 @@
+"""Unit tests for billing units and rounding helpers."""
+
+import pytest
+
+from repro.billing.units import GB, MB, MILLISECONDS, Resource, ResourceKind, apply_minimum, round_up
+
+
+class TestConstants:
+    def test_mb_in_gb(self):
+        assert 1024 * MB == pytest.approx(GB)
+
+    def test_milliseconds(self):
+        assert 100 * MILLISECONDS == pytest.approx(0.1)
+
+
+class TestRoundUp:
+    def test_rounds_up_to_next_multiple(self):
+        assert round_up(0.101, 0.1) == pytest.approx(0.2)
+
+    def test_exact_multiple_unchanged(self):
+        assert round_up(0.3, 0.1) == pytest.approx(0.3)
+
+    def test_near_exact_multiple_not_bumped(self):
+        # 58 ms is already a whole number of 1 ms increments; binary floating
+        # point error must not push it up to 59 ms.
+        assert round_up(0.058, 0.001) == pytest.approx(0.058)
+
+    def test_fractional_millisecond_rounds_up(self):
+        # 58.19 ms at 1 ms granularity bills as 59 ms.
+        assert round_up(0.05819, 0.001) == pytest.approx(0.059)
+
+    def test_zero_value(self):
+        assert round_up(0.0, 0.1) == 0.0
+
+    def test_negative_granularity_disables_rounding(self):
+        assert round_up(0.123, 0.0) == pytest.approx(0.123)
+        assert round_up(0.123, -1.0) == pytest.approx(0.123)
+
+    def test_value_below_granularity_rounds_to_granularity(self):
+        assert round_up(0.0001, 0.001) == pytest.approx(0.001)
+
+    def test_memory_rounding_128mb(self):
+        assert round_up(0.2, 128 * MB) == pytest.approx(0.25)
+
+    def test_large_values(self):
+        assert round_up(1234.5678, 0.001) == pytest.approx(1234.568, abs=1e-6)
+
+
+class TestApplyMinimum:
+    def test_below_minimum_raised(self):
+        assert apply_minimum(0.02, 0.1) == pytest.approx(0.1)
+
+    def test_above_minimum_unchanged(self):
+        assert apply_minimum(0.5, 0.1) == pytest.approx(0.5)
+
+    def test_zero_stays_zero(self):
+        assert apply_minimum(0.0, 0.1) == 0.0
+
+    def test_no_minimum(self):
+        assert apply_minimum(0.02, 0.0) == pytest.approx(0.02)
+
+
+class TestResource:
+    def test_valid(self):
+        resource = Resource(ResourceKind.CPU, 0.5)
+        assert resource.kind is ResourceKind.CPU
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(ResourceKind.MEMORY, -1.0)

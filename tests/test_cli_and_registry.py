@@ -1,0 +1,85 @@
+"""Tests for the CLI and the experiment registry."""
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, list_experiments, run_experiment
+from repro.cli import build_parser, main
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+            "exploit",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_list_order_stable(self):
+        assert list_experiments()[0] == "table1"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_metadata_fields(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.title
+            assert experiment.modules.startswith("repro.")
+
+    @pytest.mark.parametrize("experiment_id", ["table1", "figure1", "figure11", "table2", "exploit"])
+    def test_cheap_experiments_run(self, experiment_id):
+        rows = run_experiment(experiment_id)
+        assert rows
+        assert isinstance(rows[0], dict)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "table1", "--format", "markdown"])
+        assert args.experiment == "table1"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure10" in output
+
+    def test_run_table1_text(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "aws_lambda" in output
+
+    def test_run_figure1_markdown(self, capsys):
+        assert main(["run", "figure1", "--format", "markdown"]) == 0
+        assert "| platform |" in capsys.readouterr().out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "figure99"]) == 2
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_trace_command_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "trace.csv"
+        assert main(["trace", "--requests", "200", "--functions", "10", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "wrote 200 requests" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,112 @@
+"""Tests for the provider-side placement / deployment-density substrate."""
+
+import pytest
+
+from repro.cluster.density import deployment_density_study, keepalive_density_impact
+from repro.cluster.host import Host, HostSpec
+from repro.cluster.placement import (
+    PlacementPolicy,
+    SandboxRequirement,
+    place_sandboxes,
+)
+from repro.platform.presets import get_platform_preset
+
+
+class TestHost:
+    def test_capacity_accounting(self):
+        host = Host(spec=HostSpec(vcpus=4, memory_gb=16))
+        host.place("a", 1.0, 4.0)
+        assert host.free_vcpus == pytest.approx(3.0)
+        assert host.free_memory_gb == pytest.approx(12.0)
+        assert host.cpu_utilization == pytest.approx(0.25)
+
+    def test_fits_rejects_overflow(self):
+        host = Host(spec=HostSpec(vcpus=2, memory_gb=4))
+        assert host.fits(2.0, 4.0)
+        host.place("a", 1.5, 3.0)
+        assert not host.fits(1.0, 0.5)
+        with pytest.raises(ValueError):
+            host.place("b", 1.0, 0.5)
+
+    def test_stranded_capacity_memory_exhausted(self):
+        host = Host(spec=HostSpec(vcpus=8, memory_gb=8))
+        host.place("a", 1.0, 8.0)  # memory full, CPU mostly free
+        stranded = host.stranded_capacity()
+        assert stranded["vcpus"] == pytest.approx(7.0)
+        assert stranded["memory_gb"] == 0.0
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            HostSpec(vcpus=0, memory_gb=1)
+
+
+class TestPlacement:
+    def _requirements(self, count, vcpus=1.0, memory=4.0):
+        return [SandboxRequirement(f"s{i}", vcpus, memory) for i in range(count)]
+
+    def test_opens_hosts_as_needed(self):
+        result = place_sandboxes(self._requirements(100), host_spec=HostSpec(64, 256))
+        # 100 sandboxes of 1 vCPU / 4 GB fit 64 per host -> 2 hosts.
+        assert result.num_hosts == 2
+        assert result.num_placed == 100
+        assert not result.unplaced
+
+    def test_oversized_sandbox_reported_unplaced(self):
+        result = place_sandboxes([SandboxRequirement("big", 128.0, 16.0)], host_spec=HostSpec(64, 256))
+        assert result.num_hosts == 0
+        assert len(result.unplaced) == 1
+
+    def test_best_fit_no_worse_than_worst_fit(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        requirements = [
+            SandboxRequirement(f"s{i}", float(rng.choice([0.5, 1, 2, 4])), float(rng.choice([1, 4, 8, 32])))
+            for i in range(300)
+        ]
+        best = place_sandboxes(requirements, policy=PlacementPolicy.BEST_FIT)
+        worst = place_sandboxes(requirements, policy=PlacementPolicy.WORST_FIT)
+        assert best.num_hosts <= worst.num_hosts
+
+    def test_first_fit_places_everything(self):
+        result = place_sandboxes(self._requirements(10), policy=PlacementPolicy.FIRST_FIT)
+        assert result.num_placed == 10
+
+    def test_density_metric(self):
+        result = place_sandboxes(self._requirements(64), host_spec=HostSpec(64, 256))
+        assert result.deployment_density == pytest.approx(64.0)
+
+    def test_summary_keys(self):
+        summary = place_sandboxes(self._requirements(3)).summary()
+        assert {"num_hosts", "deployment_density", "stranded_vcpus"} <= set(summary)
+
+    def test_invalid_requirement(self):
+        with pytest.raises(ValueError):
+            SandboxRequirement("bad", 0.0, 1.0)
+
+
+class TestDensityStudies:
+    def test_constrained_knobs_need_no_more_hosts(self):
+        """§2.2: constraining CPU:memory combinations improves (or preserves) packing density."""
+        reports = {r.regime: r for r in deployment_density_study(num_sandboxes=600, seed=1)}
+        assert reports["ratio_1_to_4"].num_hosts <= reports["free_form"].num_hosts
+        assert reports["free_form"].stranded_vcpus + reports["free_form"].stranded_memory_gb >= 0
+
+    def test_density_report_rows(self):
+        reports = deployment_density_study(num_sandboxes=200, seed=2)
+        assert len(reports) == 3
+        for report in reports:
+            row = report.as_row()
+            assert row["num_hosts"] >= 1
+            assert 0 < row["mean_memory_utilization"] <= 1
+
+    def test_keepalive_density_impact_ordering(self):
+        """§3.3: full-allocation keep-alive pins the most capacity, freeze pins none."""
+        policies = {
+            "aws_freeze": get_platform_preset("aws_lambda_like").keep_alive,
+            "gcp_scale_down": get_platform_preset("gcp_run_like").keep_alive,
+            "azure_full": get_platform_preset("azure_consumption_like").keep_alive,
+        }
+        rows = {row["policy"]: row for row in keepalive_density_impact(policies, num_idle_sandboxes=500)}
+        assert rows["aws_freeze"]["num_hosts_pinned"] == 0.0
+        assert rows["azure_full"]["num_hosts_pinned"] >= rows["gcp_scale_down"]["num_hosts_pinned"] > 0

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core invariants of the billing and scheduling substrates."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.billing.calculator import BillingCalculator, InvocationBillingInput
+from repro.billing.catalog import PLATFORM_BILLING_MODELS, PlatformName
+from repro.billing.units import ResourceKind, apply_minimum, round_up
+from repro.platform.concurrency import ContentionModel
+from repro.platform.keepalive import KeepAlivePolicy, KeepAliveResourceBehavior
+from repro.sched.analytical import theoretical_duration
+from repro.sched.cgroup import BandwidthConfig
+from repro.sched.engine import SchedulerConfig, SchedulerSim
+from repro.sched.task import SimTask
+from repro.traces.statistics import pearson_correlation, spearman_correlation
+
+positive_times = st.floats(min_value=1e-4, max_value=100.0, allow_nan=False, allow_infinity=False)
+granularities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+fractions = st.floats(min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+class TestRoundingProperties:
+    @given(value=positive_times, granularity=granularities)
+    def test_round_up_never_decreases(self, value, granularity):
+        assert round_up(value, granularity) >= value - 1e-9
+
+    @given(value=positive_times, granularity=st.floats(min_value=1e-4, max_value=1.0))
+    def test_round_up_is_multiple_of_granularity(self, value, granularity):
+        rounded = round_up(value, granularity)
+        multiple = rounded / granularity
+        assert abs(multiple - round(multiple)) < 1e-6
+
+    @given(value=positive_times, granularity=st.floats(min_value=1e-4, max_value=1.0))
+    def test_round_up_within_one_granule(self, value, granularity):
+        assert round_up(value, granularity) <= value + granularity + 1e-9
+
+    @given(value=positive_times, granularity=st.floats(min_value=1e-4, max_value=1.0))
+    def test_round_up_idempotent(self, value, granularity):
+        once = round_up(value, granularity)
+        assert round_up(once, granularity) <= once + 1e-9
+
+    @given(value=st.floats(min_value=0.0, max_value=10.0), minimum=st.floats(min_value=0.0, max_value=1.0))
+    def test_apply_minimum_properties(self, value, minimum):
+        result = apply_minimum(value, minimum)
+        assert result >= value - 1e-12
+        if value > 0 and minimum > 0:
+            assert result >= minimum
+
+
+class TestBillingProperties:
+    @given(
+        execution=st.floats(min_value=1e-3, max_value=100.0),
+        cpu_used_fraction=st.floats(min_value=0.0, max_value=1.0),
+        memory_used_fraction=st.floats(min_value=0.0, max_value=1.0),
+        vcpus=fractions,
+        memory=st.floats(min_value=0.128, max_value=8.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_billable_resources_never_below_actual_usage(
+        self, execution, cpu_used_fraction, memory_used_fraction, vcpus, memory
+    ):
+        """Under every Table 1 billing model, billable resources cover actual consumption."""
+        inputs = InvocationBillingInput(
+            execution_s=execution,
+            init_s=0.0,
+            alloc_vcpus=vcpus,
+            alloc_memory_gb=memory,
+            used_cpu_seconds=cpu_used_fraction * vcpus * execution,
+            used_memory_gb=memory_used_fraction * memory,
+        )
+        for platform in (
+            PlatformName.AWS_LAMBDA,
+            PlatformName.GCP_RUN_REQUEST,
+            PlatformName.AZURE_CONSUMPTION,
+            PlatformName.HUAWEI_FUNCTIONGRAPH,
+            PlatformName.CLOUDFLARE_WORKERS,
+        ):
+            billed = BillingCalculator(platform).bill(inputs)
+            if billed.billable_cpu_seconds > 0:
+                assert billed.billable_cpu_seconds >= billed.actual_cpu_seconds - 1e-9
+            if billed.billable_memory_gb_seconds > 0:
+                assert billed.billable_memory_gb_seconds >= billed.actual_memory_gb_seconds * 0.999 - 1e-9
+
+    @given(execution=st.floats(min_value=1e-3, max_value=10.0), vcpus=fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_invoice_total_nonnegative_and_monotone_in_duration(self, execution, vcpus):
+        calculator = BillingCalculator(PlatformName.GCP_RUN_REQUEST)
+        base = InvocationBillingInput(
+            execution_s=execution,
+            init_s=0.0,
+            alloc_vcpus=vcpus,
+            alloc_memory_gb=1.0,
+            used_cpu_seconds=0.0,
+            used_memory_gb=0.1,
+        )
+        longer = InvocationBillingInput(
+            execution_s=execution * 2,
+            init_s=0.0,
+            alloc_vcpus=vcpus,
+            alloc_memory_gb=1.0,
+            used_cpu_seconds=0.0,
+            used_memory_gb=0.1,
+        )
+        assert calculator.bill(base).invoice.total >= 0
+        assert calculator.bill(longer).invoice.total >= calculator.bill(base).invoice.total - 1e-12
+
+    @given(st.sampled_from(list(PLATFORM_BILLING_MODELS.values())))
+    def test_describe_round_trips_key_fields(self, model):
+        description = model.describe()
+        assert description["platform"] == model.platform
+        assert description["invocation_fee_usd"] == model.invocation_fee
+
+
+class TestSchedulingProperties:
+    @given(cpu_time=st.floats(min_value=1e-3, max_value=0.5), fraction=fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_equation2_bounds(self, cpu_time, fraction):
+        """Equation (2) durations lie between the CPU demand and demand/fraction + one period."""
+        period = 0.02
+        duration = theoretical_duration(cpu_time, period, fraction * period)
+        assert duration >= cpu_time - 1e-9
+        assert duration <= cpu_time / fraction + period + 1e-9
+
+    @given(cpu_time=st.floats(min_value=2e-3, max_value=0.06), fraction=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_simulated_duration_bounded_by_theory_plus_slack(self, cpu_time, fraction):
+        """The simulator conserves CPU demand and respects coarse duration bounds."""
+        config = SchedulerConfig(
+            bandwidth=BandwidthConfig.for_vcpu_fraction(fraction, period_s=0.02),
+            tick_hz=250,
+            horizon_s=20.0,
+        )
+        result = SchedulerSim(config, [SimTask.cpu_bound(cpu_time, name="t")]).run().single
+        assert result.finished
+        assert result.cpu_consumed_s >= cpu_time - 1e-9
+        assert result.duration_s >= cpu_time - 1e-9
+        # Overallocation can only make the task *faster* than the ideal share,
+        # never slower than the theory plus one period of slack.
+        ideal = theoretical_duration(cpu_time, 0.02, fraction * 0.02)
+        assert result.duration_s <= ideal + 0.02 + 1e-6
+
+    @given(concurrency=st.integers(min_value=1, max_value=64), vcpus=st.floats(min_value=0.1, max_value=4.0))
+    def test_contention_slowdown_at_least_fair_share(self, concurrency, vcpus):
+        contention = ContentionModel()
+        slowdown = contention.slowdown(concurrency, vcpus)
+        uncontended_rate = min(1.0, vcpus)
+        fair_rate = min(1.0, vcpus / concurrency)
+        assert slowdown >= uncontended_rate / (fair_rate + 1e-12) - 1e-9
+
+
+class TestKeepAliveProperties:
+    @given(
+        minimum=st.floats(min_value=0.0, max_value=500.0),
+        span=st.floats(min_value=0.0, max_value=500.0),
+        idle=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    def test_cold_start_probability_bounded_and_monotone(self, minimum, span, idle):
+        policy = KeepAlivePolicy(
+            min_keep_alive_s=minimum,
+            max_keep_alive_s=minimum + span,
+            resource_behavior=KeepAliveResourceBehavior.FREEZE_DEALLOCATE,
+        )
+        probability = policy.cold_start_probability(idle)
+        assert 0.0 <= probability <= 1.0
+        assert policy.cold_start_probability(idle + 10.0) >= probability - 1e-12
+
+
+class TestStatisticsProperties:
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=3, max_size=50))
+    def test_correlation_bounds(self, values):
+        shifted = [v * 2 + 1 for v in values]
+        rho = pearson_correlation(values, shifted)
+        if not math.isnan(rho):
+            assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3).map(lambda v: round(v, 3)),
+            min_size=3,
+            max_size=50,
+        )
+    )
+    def test_spearman_invariant_to_monotone_transform(self, values):
+        # Rounding avoids subnormal values whose cube underflows to zero and
+        # would create ties that exist in the transform but not the original.
+        transformed = [v**3 for v in values]
+        rho_raw = spearman_correlation(values, values)
+        rho_transformed = spearman_correlation(values, transformed)
+        if not math.isnan(rho_raw) and not math.isnan(rho_transformed):
+            assert rho_transformed >= rho_raw - 1e-6

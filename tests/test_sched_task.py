@@ -1,0 +1,93 @@
+"""Unit tests for simulated tasks and scheduling policies."""
+
+import pytest
+
+from repro.sched.policies import PolicyParameters, SchedulingPolicy, max_burst_s, pick_next
+from repro.sched.task import PhaseKind, SimTask, TaskPhase, TaskState
+
+
+class TestTaskPhase:
+    def test_compute_phase(self):
+        phase = TaskPhase.compute(0.1)
+        assert phase.kind is PhaseKind.COMPUTE
+
+    def test_io_phase(self):
+        phase = TaskPhase.io(0.2)
+        assert phase.kind is PhaseKind.IO
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TaskPhase.compute(-1.0)
+
+
+class TestSimTask:
+    def test_cpu_bound_constructor(self):
+        task = SimTask.cpu_bound(0.1, name="t")
+        assert task.total_cpu_demand_s == pytest.approx(0.1)
+        assert task.state is TaskState.WAITING
+        assert task.phase_remaining_s == pytest.approx(0.1)
+
+    def test_io_bound_constructor(self):
+        task = SimTask.io_bound(compute_burst_s=0.01, io_wait_s=0.05, num_bursts=3)
+        assert len(task.phases) == 6
+        assert task.total_cpu_demand_s == pytest.approx(0.03)
+
+    def test_io_bound_requires_positive_bursts(self):
+        with pytest.raises(ValueError):
+            SimTask.io_bound(0.01, 0.05, 0)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            SimTask(phases=[])
+
+    def test_advance_phase(self):
+        task = SimTask.io_bound(0.01, 0.05, 1)
+        task.advance_phase()
+        assert task.current_phase.kind is PhaseKind.IO
+        task.advance_phase()
+        assert task.current_phase is None
+
+    def test_unique_default_names(self):
+        a = SimTask.cpu_bound(0.1)
+        b = SimTask.cpu_bound(0.1)
+        assert a.name != b.name
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            SimTask.cpu_bound(0.1, arrival_s=-1.0)
+
+
+class TestPolicies:
+    def test_cfs_picks_lowest_vruntime(self):
+        a = SimTask.cpu_bound(1.0, name="a")
+        b = SimTask.cpu_bound(1.0, name="b")
+        a.vruntime = 0.5
+        b.vruntime = 0.1
+        assert pick_next([a, b], PolicyParameters(), now_s=0.0) is b
+
+    def test_eevdf_prefers_earliest_deadline(self):
+        params = PolicyParameters(policy=SchedulingPolicy.EEVDF)
+        a = SimTask.cpu_bound(1.0, name="a")
+        b = SimTask.cpu_bound(1.0, name="b")
+        a.vruntime = 0.010
+        b.vruntime = 0.000
+        assert pick_next([a, b], params, now_s=0.0) is b
+
+    def test_empty_runnable_returns_none(self):
+        assert pick_next([], PolicyParameters(), now_s=0.0) is None
+
+    def test_cfs_has_no_burst_limit(self):
+        assert max_burst_s(PolicyParameters(policy=SchedulingPolicy.CFS)) is None
+
+    def test_eevdf_burst_limited_by_slice(self):
+        params = PolicyParameters(policy=SchedulingPolicy.EEVDF, eevdf_base_slice_s=0.003)
+        assert max_burst_s(params) == pytest.approx(0.003)
+
+    def test_invalid_slice_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyParameters(eevdf_base_slice_s=0.0)
+
+    def test_deterministic_tie_break_by_name(self):
+        a = SimTask.cpu_bound(1.0, name="a")
+        b = SimTask.cpu_bound(1.0, name="b")
+        assert pick_next([b, a], PolicyParameters(), now_s=0.0) is a

@@ -1,0 +1,56 @@
+"""Unit tests for trace CSV / JSONL round-tripping."""
+
+import pytest
+
+from repro.traces.io import read_requests_csv, read_requests_jsonl, write_requests_csv, write_requests_jsonl
+
+
+@pytest.fixture()
+def sample_requests(small_trace):
+    return small_trace.requests[:50]
+
+
+class TestCsvRoundTrip:
+    def test_count_preserved(self, tmp_path, sample_requests):
+        path = tmp_path / "trace.csv"
+        written = write_requests_csv(path, sample_requests)
+        assert written == 50
+        assert len(read_requests_csv(path)) == 50
+
+    def test_values_preserved(self, tmp_path, sample_requests):
+        path = tmp_path / "trace.csv"
+        write_requests_csv(path, sample_requests)
+        loaded = read_requests_csv(path)
+        for original, copy in zip(sample_requests, loaded):
+            assert copy.request_id == original.request_id
+            assert copy.duration_s == pytest.approx(original.duration_s)
+            assert copy.usage.cpu_seconds == pytest.approx(original.usage.cpu_seconds)
+            assert copy.cold_start == original.cold_start
+            assert copy.init_duration_s == pytest.approx(original.init_duration_s)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_requests_csv(path, []) == 0
+        assert read_requests_csv(path) == []
+
+
+class TestJsonlRoundTrip:
+    def test_count_preserved(self, tmp_path, sample_requests):
+        path = tmp_path / "trace.jsonl"
+        assert write_requests_jsonl(path, sample_requests) == 50
+        assert len(read_requests_jsonl(path)) == 50
+
+    def test_values_preserved(self, tmp_path, sample_requests):
+        path = tmp_path / "trace.jsonl"
+        write_requests_jsonl(path, sample_requests)
+        loaded = read_requests_jsonl(path)
+        for original, copy in zip(sample_requests, loaded):
+            assert copy.pod_id == original.pod_id
+            assert copy.alloc_memory_gb == pytest.approx(original.alloc_memory_gb)
+
+    def test_blank_lines_ignored(self, tmp_path, sample_requests):
+        path = tmp_path / "trace.jsonl"
+        write_requests_jsonl(path, sample_requests[:2])
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(read_requests_jsonl(path)) == 2

@@ -1,0 +1,124 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.traces.statistics import (
+    cdf_points,
+    describe,
+    empirical_cdf,
+    geometric_mean,
+    histogram,
+    pearson_correlation,
+    quantile,
+    spearman_correlation,
+)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_and_normalised(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probs[-1] == pytest.approx(1.0)
+        assert probs[0] == pytest.approx(1 / 3)
+
+    def test_empty_input(self):
+        values, probs = empirical_cdf([])
+        assert values.size == 0
+        assert probs.size == 0
+
+    def test_monotonic(self):
+        _, probs = empirical_cdf(np.random.default_rng(0).normal(size=100))
+        assert np.all(np.diff(probs) >= 0)
+
+
+class TestCdfPoints:
+    def test_downsampling(self):
+        points = cdf_points(list(range(1000)), num_points=10)
+        assert len(points) == 10
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_small_input_not_padded(self):
+        points = cdf_points([1.0, 2.0], num_points=10)
+        assert len(points) == 2
+
+    def test_invalid_num_points(self):
+        with pytest.raises(ValueError):
+            cdf_points([1.0], num_points=0)
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            quantile([1, 2], 1.5)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(quantile([], 0.5))
+
+
+class TestDescribe:
+    def test_keys_present(self):
+        stats = describe([1.0, 2.0, 3.0])
+        for key in ("count", "mean", "std", "min", "p5", "p50", "p95", "p99", "max"):
+            assert key in stats
+        assert stats["count"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+
+    def test_empty_all_nan(self):
+        stats = describe([])
+        assert all(math.isnan(v) for v in stats.values())
+
+
+class TestCorrelations:
+    def test_perfect_positive_pearson(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative_pearson(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_nan(self):
+        assert math.isnan(pearson_correlation([1, 1, 1], [1, 2, 3]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_spearman_monotonic_nonlinear(self):
+        x = [1, 2, 3, 4, 5]
+        y = [1, 8, 27, 64, 125]  # monotonic but nonlinear
+        assert spearman_correlation(x, y) == pytest.approx(1.0)
+
+    def test_spearman_handles_ties(self):
+        rho = spearman_correlation([1, 2, 2, 3], [1, 2, 2, 3])
+        assert rho == pytest.approx(1.0)
+
+    def test_spearman_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_correlation([1], [1, 2])
+
+
+class TestHistogramAndGeomean:
+    def test_histogram_counts_sum(self):
+        bins = histogram(list(range(100)), bins=10)
+        assert sum(count for _, _, count in bins) == 100
+
+    def test_histogram_empty(self):
+        assert histogram([]) == []
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 10, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))

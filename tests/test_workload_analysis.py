@@ -1,0 +1,97 @@
+"""Tests for per-function workload characterisation."""
+
+import math
+
+import pytest
+
+from repro.traces.schema import RequestRecord, ResourceUsage, Trace
+from repro.traces.workload_analysis import (
+    characterize_functions,
+    classify_traffic,
+    idle_gap_distribution,
+)
+
+
+def _request(request_id, function_id, arrival, duration=0.1):
+    return RequestRecord(
+        request_id=request_id,
+        function_id=function_id,
+        pod_id=f"pod-{function_id}",
+        arrival_s=arrival,
+        duration_s=duration,
+        usage=ResourceUsage(cpu_seconds=duration * 0.3, memory_gb=0.2),
+        alloc_vcpus=1.0,
+        alloc_memory_gb=0.5,
+    )
+
+
+class TestClassifyTraffic:
+    def test_steady(self):
+        assert classify_traffic(mean_interarrival_s=1.0, interarrival_cv=0.2) == "steady"
+
+    def test_bursty(self):
+        assert classify_traffic(mean_interarrival_s=5.0, interarrival_cv=3.0) == "bursty"
+
+    def test_sporadic_long_gaps(self):
+        assert classify_traffic(mean_interarrival_s=900.0, interarrival_cv=0.1) == "sporadic"
+
+    def test_sporadic_single_request(self):
+        assert classify_traffic(mean_interarrival_s=float("inf"), interarrival_cv=0.0) == "sporadic"
+
+
+class TestIdleGaps:
+    def test_gap_computation(self):
+        trace = Trace([_request("a", "f1", 0.0, 0.1), _request("b", "f1", 10.0, 0.1)])
+        gaps = idle_gap_distribution(trace, "f1")
+        assert gaps == [pytest.approx(9.9)]
+
+    def test_per_function_isolation(self):
+        trace = Trace(
+            [
+                _request("a", "f1", 0.0),
+                _request("b", "f2", 1.0),
+                _request("c", "f1", 5.0),
+            ]
+        )
+        assert len(idle_gap_distribution(trace, "f1")) == 1
+        assert len(idle_gap_distribution(trace)) == 1  # f2 has a single request, no gap
+
+    def test_overlapping_requests_yield_no_negative_gaps(self):
+        trace = Trace([_request("a", "f1", 0.0, 5.0), _request("b", "f1", 1.0, 0.1)])
+        assert all(g >= 0 for g in idle_gap_distribution(trace, "f1"))
+
+
+class TestCharacterizeFunctions:
+    def test_basic_statistics(self):
+        trace = Trace([_request(f"r{i}", "f1", float(i)) for i in range(10)])
+        stats = characterize_functions(trace)
+        assert len(stats) == 1
+        entry = stats[0]
+        assert entry.num_requests == 10
+        assert entry.mean_duration_s == pytest.approx(0.1)
+        assert entry.mean_interarrival_s == pytest.approx(1.0)
+        assert entry.traffic_class == "steady"
+
+    def test_min_requests_filter(self):
+        trace = Trace([_request("a", "f1", 0.0), _request("b", "f2", 0.0), _request("c", "f2", 1.0)])
+        stats = characterize_functions(trace, min_requests=2)
+        assert [s.function_id for s in stats] == ["f2"]
+
+    def test_invalid_min_requests(self):
+        with pytest.raises(ValueError):
+            characterize_functions(Trace([]), min_requests=0)
+
+    def test_as_row(self):
+        trace = Trace([_request("a", "f1", 0.0), _request("b", "f1", 2.0)])
+        row = characterize_functions(trace)[0].as_row()
+        assert row["function_id"] == "f1"
+        assert row["mean_duration_ms"] == pytest.approx(100.0)
+
+    def test_on_synthetic_trace(self, small_trace):
+        stats = characterize_functions(small_trace, min_requests=5)
+        assert stats, "expected several functions with >= 5 requests"
+        classes = {s.traffic_class for s in stats}
+        assert classes <= {"steady", "bursty", "sporadic"}
+        for entry in stats:
+            assert 0 <= entry.mean_cpu_utilization <= 1
+            assert entry.p95_duration_s >= entry.mean_duration_s * 0.5
