@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+The ``__init__.py`` makes ``benchmarks`` a proper package so the benchmark
+modules' ``from .conftest import emit, run_once`` relative imports resolve
+when pytest collects the whole tree (tier-1: ``python -m pytest -x -q``).
+"""

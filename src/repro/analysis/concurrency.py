@@ -2,17 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.platform.config import PlatformConfig
 from repro.platform.invoker import PlatformSimulator
 from repro.platform.presets import get_platform_preset
+from repro.sim.sweep import Scenario, platform_point, run_sweep
 from repro.workloads.functions import PYAES_FUNCTION, WorkloadSpec
 from repro.workloads.traffic import constant_rate_arrivals, poisson_arrivals
 
-__all__ = ["figure6_burst_sweep", "figure6_long_run_timeline", "PAPER_FIG6"]
+__all__ = ["figure6_burst_sweep", "figure6_long_run_timeline", "run_burst_point", "PAPER_FIG6"]
 
 #: Paper-reported reference points for EXPERIMENTS.md.
 PAPER_FIG6 = {
@@ -25,6 +26,37 @@ PAPER_FIG6 = {
 DEFAULT_RPS_SWEEP: Sequence[float] = (1, 2, 4, 6, 8, 10, 15, 20, 25, 30)
 
 
+def run_burst_point(params: Mapping[str, object], seed: int) -> Dict[str, float]:
+    """Sweep runner: one (platform, rps) burst simulation of Figure 6 (left).
+
+    Delegates the simulation to the generic :func:`repro.sim.sweep.platform_point`
+    runner and projects its row down to the figure's legacy column set.
+    """
+    full = platform_point(
+        {
+            "platform": params["platform"],
+            "workload": params["workload"],
+            "label": params["label"],
+            "rps": params["rps"],
+            "duration_s": params["burst_duration_s"],
+            "alloc_vcpus": params.get("alloc_vcpus", 1.0),
+            "alloc_memory_gb": params.get("alloc_memory_gb", 2.0),
+            "init_duration_s": 1.5,
+        },
+        seed,
+    )
+    columns = (
+        "platform",
+        "rps",
+        "mean_duration_ms",
+        "median_duration_ms",
+        "p95_duration_ms",
+        "max_instances",
+        "num_requests",
+    )
+    return {key: full[key] for key in columns}
+
+
 def figure6_burst_sweep(
     workload: WorkloadSpec = PYAES_FUNCTION,
     platforms: Optional[Dict[str, PlatformConfig]] = None,
@@ -33,33 +65,38 @@ def figure6_burst_sweep(
     alloc_vcpus: float = 1.0,
     alloc_memory_gb: float = 2.0,
     seed: int = 1,
+    processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
-    """Figure 6 (left): mean/median execution duration versus request rate per platform."""
+    """Figure 6 (left): mean/median execution duration versus request rate per platform.
+
+    The (platform x rps) grid runs through the :mod:`repro.sim.sweep`
+    orchestrator; pass ``processes`` to fan the points out across cores
+    (results are identical to the sequential run).
+    """
     if platforms is None:
         platforms = {
             "aws": get_platform_preset("aws_lambda_like"),
             "gcp": get_platform_preset("gcp_run_like"),
         }
-    function = workload.to_function_config(alloc_vcpus, alloc_memory_gb, init_duration_s=1.5)
-    rows: List[Dict[str, float]] = []
-    for label, preset in platforms.items():
-        for rps in rps_sweep:
-            simulator = PlatformSimulator(preset, function, seed=seed)
-            arrivals = constant_rate_arrivals(rps, burst_duration_s)
-            metrics = simulator.run(arrivals)
-            summary = metrics.summary()
-            rows.append(
-                {
-                    "platform": label,
-                    "rps": float(rps),
-                    "mean_duration_ms": summary["mean_execution_duration_s"] * 1e3,
-                    "median_duration_ms": summary["median_execution_duration_s"] * 1e3,
-                    "p95_duration_ms": summary["p95_execution_duration_s"] * 1e3,
-                    "max_instances": summary["max_instances"],
-                    "num_requests": summary["num_requests"],
-                }
-            )
-    return rows
+    scenarios = [
+        Scenario(
+            scenario_id=f"fig6/platform={label}/rps={rps}",
+            runner="repro.analysis.concurrency:run_burst_point",
+            params={
+                "label": label,
+                "platform": preset,
+                "workload": workload,
+                "rps": float(rps),
+                "burst_duration_s": burst_duration_s,
+                "alloc_vcpus": alloc_vcpus,
+                "alloc_memory_gb": alloc_memory_gb,
+            },
+            seed=seed,
+        )
+        for label, preset in platforms.items()
+        for rps in rps_sweep
+    ]
+    return [dict(row) for row in run_sweep(scenarios, processes=processes)]
 
 
 def figure6_slowdown_summary(rows: List[Dict[str, float]]) -> List[Dict[str, float]]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -12,11 +12,13 @@ from repro.sched.engine import SchedulerConfig, SchedulerSim
 from repro.sched.policies import PolicyParameters, SchedulingPolicy
 from repro.sched.presets import PROVIDER_SCHED_PRESETS
 from repro.sched.task import SimTask
+from repro.sim.sweep import Scenario, run_sweep
 
 __all__ = [
     "figure10_allocation_sweep",
     "figure10_summary",
     "aws_memory_to_vcpus",
+    "run_allocation_point",
     "DEFAULT_AWS_MEMORY_SWEEP_MB",
 ]
 
@@ -68,49 +70,69 @@ def _simulate_duration(
     return durations
 
 
+def run_allocation_point(params: Mapping[str, object], seed: int) -> Dict[str, float]:
+    """Sweep runner: one fractional-allocation point of Figure 10."""
+    provider = str(params["provider"])
+    cpu_time_s = float(params["cpu_time_s"])  # type: ignore[arg-type]
+    fraction = float(params["vcpu_fraction"])  # type: ignore[arg-type]
+    preset = PROVIDER_SCHED_PRESETS[provider]
+    durations = _simulate_duration(
+        cpu_time_s=cpu_time_s,
+        vcpu_fraction=fraction,
+        period_s=preset.period_s,
+        tick_hz=preset.tick_hz,
+        samples=int(params.get("samples_per_point", 20)),  # type: ignore[arg-type]
+        seed=seed,
+    )
+    expected = expected_duration_reciprocal(cpu_time_s, fraction)
+    return {
+        "provider": provider,
+        "vcpu_fraction": fraction,
+        "memory_mb": float(fraction * 1769.0) if provider == "aws_lambda" else float("nan"),
+        "empirical_mean_duration_ms": float(np.mean(durations)) * 1e3,
+        "empirical_p5_duration_ms": float(np.quantile(durations, 0.05)) * 1e3,
+        "expected_duration_ms": expected * 1e3,
+        "overallocation_ratio": expected / float(np.mean(durations)) if durations else float("nan"),
+        "samples": float(len(durations)),
+    }
+
+
 def figure10_allocation_sweep(
     provider: str = "aws_lambda",
     cpu_time_s: float = 0.016,
     vcpu_fractions: Optional[Sequence[float]] = None,
     samples_per_point: int = 20,
     seed: int = 3,
+    processes: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 10: empirical versus expected duration across fractional allocations.
 
     ``provider`` selects the bandwidth period and timer frequency (Table 3).
     The default CPU time of ~16 ms reproduces the harmonic jump positions the
-    paper observes on AWS (~1,400 MB x {1, 1/2, 1/3, ...}).
+    paper observes on AWS (~1,400 MB x {1, 1/2, 1/3, ...}).  Each allocation
+    is one scenario of a :mod:`repro.sim.sweep` run (seeded ``seed + index``
+    as before); pass ``processes`` to fan the points out across cores.
     """
-    preset = PROVIDER_SCHED_PRESETS[provider]
     if vcpu_fractions is None:
         if provider == "aws_lambda":
             vcpu_fractions = [aws_memory_to_vcpus(m) for m in DEFAULT_AWS_MEMORY_SWEEP_MB]
         else:
             vcpu_fractions = list(DEFAULT_GCP_VCPU_SWEEP)
-    rows: List[Dict[str, float]] = []
-    for index, fraction in enumerate(vcpu_fractions):
-        durations = _simulate_duration(
-            cpu_time_s=cpu_time_s,
-            vcpu_fraction=fraction,
-            period_s=preset.period_s,
-            tick_hz=preset.tick_hz,
-            samples=samples_per_point,
+    scenarios = [
+        Scenario(
+            scenario_id=f"fig10/provider={provider}/fraction={fraction}",
+            runner="repro.analysis.overallocation:run_allocation_point",
+            params={
+                "provider": provider,
+                "cpu_time_s": cpu_time_s,
+                "vcpu_fraction": float(fraction),
+                "samples_per_point": samples_per_point,
+            },
             seed=seed + index,
         )
-        expected = expected_duration_reciprocal(cpu_time_s, fraction)
-        rows.append(
-            {
-                "provider": provider,
-                "vcpu_fraction": float(fraction),
-                "memory_mb": float(fraction * 1769.0) if provider == "aws_lambda" else float("nan"),
-                "empirical_mean_duration_ms": float(np.mean(durations)) * 1e3,
-                "empirical_p5_duration_ms": float(np.quantile(durations, 0.05)) * 1e3,
-                "expected_duration_ms": expected * 1e3,
-                "overallocation_ratio": expected / float(np.mean(durations)) if durations else float("nan"),
-                "samples": float(len(durations)),
-            }
-        )
-    return rows
+        for index, fraction in enumerate(vcpu_fractions)
+    ]
+    return [dict(row) for row in run_sweep(scenarios, processes=processes)]
 
 
 def figure10_summary(rows: List[Dict[str, float]]) -> Dict[str, float]:

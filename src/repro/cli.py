@@ -6,6 +6,7 @@ Usage::
     repro-serverless-costs run figure2
     repro-serverless-costs run all --format markdown
     repro-serverless-costs trace --requests 50000 --output trace.csv
+    repro-serverless-costs sweep --processes 4 --output sweep.csv
 """
 
 from __future__ import annotations
@@ -47,7 +48,57 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--functions", type=int, default=200, help="Number of functions")
     trace_parser.add_argument("--seed", type=int, default=2026, help="PRNG seed")
     trace_parser.add_argument("--output", required=True, help="Output CSV path")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="Run a (platform x workload x rps) scenario grid across worker processes",
+        description=(
+            "Fan a scenario grid out over the repro.sim sweep orchestrator.  Every grid "
+            "point gets a reproducible seed derived from --seed and the point's identity, "
+            "so the same command always produces the same rows, sequentially or parallel."
+        ),
+    )
+    sweep_parser.add_argument(
+        "--platforms",
+        default="aws_lambda_like,gcp_run_like",
+        help="Comma-separated platform preset names (see repro.platform.presets)",
+    )
+    sweep_parser.add_argument(
+        "--workloads",
+        default="pyaes,io_bound",
+        help="Comma-separated workload catalog names (see repro.workloads.functions)",
+    )
+    sweep_parser.add_argument(
+        "--rps", default="1,5,15", help="Comma-separated request rates (requests/second)"
+    )
+    sweep_parser.add_argument(
+        "--duration-s", type=float, default=60.0, help="Traffic duration per scenario (seconds)"
+    )
+    sweep_parser.add_argument(
+        "--arrival-process",
+        choices=("constant", "poisson"),
+        default="constant",
+        help="Arrival process for every scenario",
+    )
+    sweep_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="Worker processes (default: sequential; -1 uses every core)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
+    sweep_parser.add_argument("--output", help="Also write the result rows to this CSV path")
+    sweep_parser.add_argument(
+        "--format", choices=("text", "markdown"), default="text", help="Output table format"
+    )
     return parser
+
+
+def _error_message(error: BaseException) -> str:
+    """Human-readable message (str() of a KeyError is the repr of its argument)."""
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
 
 
 def _cmd_list() -> int:
@@ -65,7 +116,7 @@ def _cmd_run(experiment: str, output_format: str) -> int:
         try:
             rows = run_experiment(experiment_id)
         except KeyError as error:
-            print(str(error), file=sys.stderr)
+            print(_error_message(error), file=sys.stderr)
             return 2
         title = f"== {experiment_id}: {EXPERIMENTS[experiment_id].title} =="
         print(title)
@@ -88,6 +139,41 @@ def _cmd_trace(requests: int, functions: int, seed: int, output: str) -> int:
     return 0
 
 
+def _cmd_sweep(args: "argparse.Namespace") -> int:
+    from repro.sim.sweep import build_grid, run_sweep
+
+    platforms = [name.strip() for name in args.platforms.split(",") if name.strip()]
+    workloads = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    try:
+        rates = [float(value) for value in args.rps.split(",") if value.strip()]
+    except ValueError:
+        print(f"invalid --rps list: {args.rps!r}", file=sys.stderr)
+        return 2
+    if not platforms or not workloads or not rates:
+        print("sweep needs at least one platform, workload, and rps value", file=sys.stderr)
+        return 2
+    try:
+        scenarios = build_grid(
+            runner="repro.sim.sweep:platform_point",
+            axes={"platform": platforms, "workload": workloads, "rps": rates},
+            common={"duration_s": args.duration_s, "arrival_process": args.arrival_process},
+            base_seed=args.seed,
+        )
+        store = run_sweep(scenarios, processes=args.processes)
+    except (KeyError, ValueError) as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    print(f"== sweep: {len(scenarios)} scenarios (base seed {args.seed}) ==")
+    if args.format == "markdown":
+        print(to_markdown_table(store.rows))
+    else:
+        print(render_table(store.rows))
+    if args.output:
+        written = store.to_csv(args.output)
+        print(f"wrote {written} rows to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -98,6 +184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args.experiment, args.format)
     if args.command == "trace":
         return _cmd_trace(args.requests, args.functions, args.seed, args.output)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     parser.print_help()
     return 1
 

@@ -1,7 +1,8 @@
 """The platform simulator: routes requests to sandboxes and tracks cost-relevant metrics.
 
 This is a discrete-event simulation of the serving layer of one function on
-one platform.  It combines the pieces defined elsewhere in the package:
+one platform, built on the shared :mod:`repro.sim` kernel.  It combines the
+pieces defined elsewhere in the package:
 
 - the concurrency model decides how many requests may share a sandbox,
 - the contention model stretches execution under concurrent load,
@@ -9,11 +10,15 @@ one platform.  It combines the pieces defined elsewhere in the package:
 - the keep-alive policy decides how long idle sandboxes survive,
 - the autoscaler (when configured) grows and shrinks the instance pool from
   window-averaged metrics, reproducing the scaling lag of Figure 6.
+
+Event ordering and the clock live in :class:`repro.sim.kernel.SimulationKernel`;
+instrumentation flows over a :class:`repro.sim.events.EventBus`, so metrics
+collection is just the default subscriber -- tracers and custom probes can
+subscribe to the same bus without touching the simulator.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,25 +28,22 @@ from repro.platform.config import FunctionConfig, PlatformConfig
 from repro.platform.metrics import RequestOutcome, SimulationMetrics
 from repro.platform.autoscaler import Autoscaler
 from repro.platform.sandbox import ActiveRequest, Sandbox, SandboxState
+from repro.sim.events import (
+    EventBus,
+    InstanceCountChanged,
+    RequestCompleted,
+    SandboxProvisioned,
+    SandboxTerminated,
+    SimEvent,
+)
+from repro.sim.kernel import Event, SimulationKernel
 
 __all__ = ["PlatformSimulator", "RequestOutcome", "SimulationMetrics"]
 
 _EPS = 1e-9
 
-
-class _Event:
-    """Heap-ordered simulation event."""
-
-    __slots__ = ("time", "seq", "kind", "data")
-
-    def __init__(self, time: float, seq: int, kind: str, data: dict) -> None:
-        self.time = time
-        self.seq = seq
-        self.kind = kind
-        self.data = data
-
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+#: Event kinds the simulator schedules on the kernel.
+_EVENT_KINDS = ("arrival", "sandbox_ready", "completion", "keepalive_expire", "autoscale")
 
 
 class PlatformSimulator:
@@ -52,19 +54,31 @@ class PlatformSimulator:
         platform: PlatformConfig,
         function: FunctionConfig,
         seed: int = 0,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.platform = platform
         self.function = function
         self._rng = np.random.default_rng(seed)
-        self._seq = itertools.count()
         self._request_counter = itertools.count()
-        self._events: List[_Event] = []
+        self._sandbox_counter = itertools.count()
+        self._kernel = SimulationKernel()
+        for kind in _EVENT_KINDS:
+            self._kernel.on(kind, getattr(self, f"_handle_{kind}"))
         self._sandboxes: Dict[str, Sandbox] = {}
         self._queue: List[Tuple[float, str]] = []  # (arrival time, request id) FIFO
         self._pending_cold: Dict[str, List[Tuple[float, str]]] = {}  # sandbox -> waiting requests
         self._completion_version: Dict[str, int] = {}
-        self._now = 0.0
         self.metrics = SimulationMetrics()
+        # Each simulator owns its instrumentation bus, so its metrics only ever
+        # see its own events.  A caller-supplied bus becomes a downstream
+        # observer: every event is forwarded to it, letting one external bus
+        # watch several co-simulated simulators without cross-contaminating
+        # their metrics.
+        self.bus = EventBus()
+        self.bus.subscribe(RequestCompleted, self._record_outcome)
+        self.bus.subscribe(InstanceCountChanged, self._record_instances)
+        if bus is not None:
+            self.bus.subscribe(SimEvent, bus.publish)
         self._autoscaler: Optional[Autoscaler] = None
         if platform.autoscaler is not None:
             self._autoscaler = Autoscaler(
@@ -77,6 +91,11 @@ class PlatformSimulator:
     # Public API
     # ------------------------------------------------------------------
 
+    @property
+    def kernel(self) -> SimulationKernel:
+        """The underlying event kernel (exposed for co-simulation and tests)."""
+        return self._kernel
+
     def run(self, arrivals: Sequence[float], horizon_s: Optional[float] = None) -> SimulationMetrics:
         """Simulate the given request arrival times; returns collected metrics."""
         arrivals = sorted(arrivals)
@@ -84,28 +103,32 @@ class PlatformSimulator:
             tail = self.function.service_time_s * 50 + 10.0
             horizon_s = (arrivals[-1] if arrivals else 0.0) + tail
         for arrival in arrivals:
-            self._push(arrival, "arrival", {})
+            self._kernel.schedule(arrival, "arrival")
         if self._autoscaler is not None:
             interval = self.platform.autoscaler.evaluation_interval_s
             t = 0.0
             while t <= horizon_s:
-                self._push(t, "autoscale", {})
+                self._kernel.schedule(t, "autoscale")
                 t += interval
-        while self._events:
-            event = heapq.heappop(self._events)
-            if event.time > horizon_s + _EPS:
-                break
-            self._now = max(self._now, event.time)
-            handler = getattr(self, f"_handle_{event.kind}")
-            handler(event)
+        self._kernel.run(until=horizon_s + _EPS)
         return self.metrics
 
     # ------------------------------------------------------------------
-    # Event plumbing
+    # Event plumbing and instrumentation
     # ------------------------------------------------------------------
 
-    def _push(self, time: float, kind: str, data: dict) -> None:
-        heapq.heappush(self._events, _Event(time, next(self._seq), kind, data))
+    @property
+    def _now(self) -> float:
+        return self._kernel.now
+
+    def _record_outcome(self, event: RequestCompleted) -> None:
+        self.metrics.record(event.outcome)
+
+    def _record_instances(self, event: InstanceCountChanged) -> None:
+        self.metrics.record_instances(event.time_s, event.count)
+
+    def _publish_instance_count(self) -> None:
+        self.bus.publish(InstanceCountChanged(self._now, self._instance_count()))
 
     def _alive_sandboxes(self) -> List[Sandbox]:
         return [s for s in self._sandboxes.values() if s.state is not SandboxState.TERMINATED]
@@ -117,7 +140,7 @@ class PlatformSimulator:
     # Arrival and routing
     # ------------------------------------------------------------------
 
-    def _handle_arrival(self, event: _Event) -> None:
+    def _handle_arrival(self, event: Event) -> None:
         request_id = f"req-{next(self._request_counter):07d}"
         self._route(request_id, arrival_s=self._now)
 
@@ -154,7 +177,11 @@ class PlatformSimulator:
 
     def _create_sandbox(self) -> Sandbox:
         init_duration = self.platform.placement_delay_s + self.function.init_duration_s
+        # Per-simulator, zero-padded names: runs are reproducible regardless of
+        # how many sandboxes other simulations in this process created, and
+        # lexicographic tie-breaks in `_pick_sandbox` match creation order.
         sandbox = Sandbox(
+            name=f"sandbox-{next(self._sandbox_counter):06d}",
             function_name=self.function.name,
             alloc_vcpus=self.function.alloc_vcpus,
             alloc_memory_gb=self.function.alloc_memory_gb,
@@ -165,11 +192,12 @@ class PlatformSimulator:
         )
         self._sandboxes[sandbox.name] = sandbox
         self._completion_version[sandbox.name] = 0
-        self._push(self._now + init_duration, "sandbox_ready", {"sandbox": sandbox.name})
-        self.metrics.record_instances(self._now, self._instance_count())
+        self._kernel.schedule_in(init_duration, "sandbox_ready", {"sandbox": sandbox.name})
+        self.bus.publish(SandboxProvisioned(self._now, sandbox.name))
+        self._publish_instance_count()
         return sandbox
 
-    def _handle_sandbox_ready(self, event: _Event) -> None:
+    def _handle_sandbox_ready(self, event: Event) -> None:
         sandbox = self._sandboxes[event.data["sandbox"]]
         if sandbox.state is SandboxState.TERMINATED:
             return
@@ -206,9 +234,11 @@ class PlatformSimulator:
         next_time = sandbox.next_completion_time(self._now)
         if next_time is None:
             return
-        self._push(max(next_time, self._now), "completion", {"sandbox": sandbox.name, "version": version})
+        self._kernel.schedule(
+            max(next_time, self._now), "completion", {"sandbox": sandbox.name, "version": version}
+        )
 
-    def _handle_completion(self, event: _Event) -> None:
+    def _handle_completion(self, event: Event) -> None:
         name = event.data["sandbox"]
         sandbox = self._sandboxes.get(name)
         if sandbox is None or sandbox.state is SandboxState.TERMINATED:
@@ -221,17 +251,20 @@ class PlatformSimulator:
             sandbox.remove(request_id, self._now)
             exec_start = request.exec_start_s if request.exec_start_s is not None else request.admitted_s
             execution_duration = self._now - exec_start
-            self.metrics.record(
-                RequestOutcome(
-                    request_id=request_id,
-                    arrival_s=request.arrival_s,
-                    start_s=exec_start,
-                    completion_s=self._now,
-                    execution_duration_s=execution_duration,
-                    cold_start=request.cold_start,
-                    init_duration_s=request.init_wait_s,
-                    queue_delay_s=max(exec_start - request.arrival_s - request.init_wait_s, 0.0),
-                    sandbox_name=sandbox.name,
+            self.bus.publish(
+                RequestCompleted(
+                    self._now,
+                    RequestOutcome(
+                        request_id=request_id,
+                        arrival_s=request.arrival_s,
+                        start_s=exec_start,
+                        completion_s=self._now,
+                        execution_duration_s=execution_duration,
+                        cold_start=request.cold_start,
+                        init_duration_s=request.init_wait_s,
+                        queue_delay_s=max(exec_start - request.arrival_s - request.init_wait_s, 0.0),
+                        sandbox_name=sandbox.name,
+                    ),
                 )
             )
         if finished:
@@ -260,22 +293,23 @@ class PlatformSimulator:
         )
         deadline = self._now + keep_alive
         sandbox.keep_alive_deadline_s = deadline
-        self._push(deadline, "keepalive_expire", {"sandbox": sandbox.name, "deadline": deadline})
+        self._kernel.schedule(deadline, "keepalive_expire", {"sandbox": sandbox.name, "deadline": deadline})
 
-    def _handle_keepalive_expire(self, event: _Event) -> None:
+    def _handle_keepalive_expire(self, event: Event) -> None:
         sandbox = self._sandboxes.get(event.data["sandbox"])
         if sandbox is None or sandbox.state is not SandboxState.IDLE:
             return
         if abs(sandbox.keep_alive_deadline_s - event.data["deadline"]) > 1e-6:
             return  # the sandbox served another request since this expiry was scheduled
         sandbox.terminate(self._now)
-        self.metrics.record_instances(self._now, self._instance_count())
+        self.bus.publish(SandboxTerminated(self._now, sandbox.name))
+        self._publish_instance_count()
 
     # ------------------------------------------------------------------
     # Autoscaling
     # ------------------------------------------------------------------
 
-    def _handle_autoscale(self, event: _Event) -> None:
+    def _handle_autoscale(self, event: Event) -> None:
         if self._autoscaler is None:
             return
         alive = self._alive_sandboxes()
@@ -293,5 +327,6 @@ class PlatformSimulator:
             removable = [s for s in alive if s.state is SandboxState.IDLE]
             for sandbox in removable[: current - desired]:
                 sandbox.terminate(self._now)
-        self.metrics.record_instances(self._now, self._instance_count())
+                self.bus.publish(SandboxTerminated(self._now, sandbox.name))
+        self._publish_instance_count()
         self._drain_queue()

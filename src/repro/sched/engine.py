@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.sched.cgroup import BandwidthConfig, BandwidthController
 from repro.sched.policies import PolicyParameters, SchedulingPolicy, max_burst_s, pick_next
 from repro.sched.task import PhaseKind, SimTask, TaskState
+from repro.sim.kernel import SimulationKernel
 
 __all__ = ["QuotaEnforcement", "SchedulerConfig", "SchedulerSim", "SimulationResult", "TaskResult"]
 
@@ -151,6 +152,7 @@ class SchedulerSim:
         self.controller = BandwidthController(config.bandwidth, num_cpus=config.num_cpus)
         self._cpus = [_CpuState(i) for i in range(config.num_cpus)]
         self._now = 0.0
+        self._kernel: Optional[SimulationKernel] = None
         # Tasks waiting to arrive, sorted by arrival time (popped from the front).
         self._pending = sorted(self.tasks, key=lambda t: t.arrival_s)
         # Per-CPU runnable queues (task affinity is fixed at arrival).
@@ -167,23 +169,43 @@ class SchedulerSim:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Run the simulation to completion (all tasks done) or to the horizon."""
+        """Run the simulation to completion (all tasks done) or to the horizon.
+
+        The engine registers itself as a polled process on the shared
+        :class:`repro.sim.kernel.SimulationKernel`: the kernel owns the clock
+        and asks :meth:`next_event_time` when the next tick/refill/arrival/
+        completion is due, then calls :meth:`handle` to advance running tasks
+        and process that instant's events.
+        """
+        kernel = SimulationKernel(start_s=self._now)
+        kernel.add_process(self)
+        self._kernel = kernel
         events = 0
         while events < self.config.max_events:
             events += 1
-            next_time = self._next_event_time()
+            next_time = kernel.peek()
             if next_time is None or next_time > self.config.horizon_s:
                 self._advance_running(min(self.config.horizon_s, self._horizon_or(next_time)))
                 break
-            self._advance_running(next_time)
-            self._handle_events()
-            self._dispatch()
+            kernel.step()
             if all(t.is_done for t in self.tasks):
                 break
         else:  # pragma: no cover - safety valve
             raise RuntimeError("simulation exceeded max_events; possible event-loop bug")
         self._close_open_segments()
         return self._collect()
+
+    # -- repro.sim.kernel.SimProcess protocol --------------------------
+
+    def next_event_time(self, now: float) -> Optional[float]:
+        """When this engine next needs the clock (kernel poll)."""
+        return self._next_event_time()
+
+    def handle(self, now: float) -> None:
+        """Advance running tasks to ``now`` and process that instant's events."""
+        self._advance_running(now)
+        self._handle_events()
+        self._dispatch()
 
     # ------------------------------------------------------------------
     # Event-time computation

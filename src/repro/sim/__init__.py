@@ -1,0 +1,60 @@
+"""`repro.sim`: the shared simulation substrate.
+
+This package factors the event-loop machinery that used to be duplicated
+across the platform simulator (`repro.platform.invoker`) and the CPU-bandwidth
+scheduler (`repro.sched.engine`) into one reusable layer:
+
+- :mod:`repro.sim.kernel` -- a discrete-event kernel: heap-ordered event queue
+  with monotonic sequence numbers for deterministic tie-breaking, plus polled
+  "processes" for co-simulating components that compute their own next event
+  time (the scheduler engine).  Supports ``peek``/``step``/``pause`` so a host
+  can interleave the kernel with other simulations.
+- :mod:`repro.sim.events` -- a typed publish/subscribe event bus so metrics
+  collectors and tracers subscribe to simulation events instead of being
+  hard-wired into the simulators.
+- :mod:`repro.sim.rng` -- named, seed-derived random streams
+  (``numpy.random.Generator`` per stream) so adding a subscriber or reordering
+  consumers never perturbs another component's randomness.
+- :mod:`repro.sim.sweep` / :mod:`repro.sim.results` -- a scenario-sweep
+  orchestrator that fans a grid of (platform x workload x config) runs out
+  across processes with per-run derived seeds, and the structured result
+  store the rows land in.
+
+Layering: ``kernel``/``events``/``rng``/``results`` depend only on the
+standard library and numpy; ``sweep`` sits at the top of the package and may
+import domain modules (platform presets, workloads) to provide ready-made
+scenario runners.
+"""
+
+from repro.sim.events import (
+    EventBus,
+    InstanceCountChanged,
+    RequestCompleted,
+    SandboxProvisioned,
+    SandboxTerminated,
+    SimEvent,
+)
+from repro.sim.kernel import Event, SimulationKernel, SimProcess
+from repro.sim.results import ResultStore
+from repro.sim.rng import RngStreams, derive_seed, named_generator
+from repro.sim.sweep import Scenario, build_grid, run_scenario, run_sweep
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "InstanceCountChanged",
+    "RequestCompleted",
+    "ResultStore",
+    "RngStreams",
+    "SandboxProvisioned",
+    "SandboxTerminated",
+    "Scenario",
+    "SimEvent",
+    "SimProcess",
+    "SimulationKernel",
+    "build_grid",
+    "derive_seed",
+    "named_generator",
+    "run_scenario",
+    "run_sweep",
+]

@@ -1,0 +1,99 @@
+"""Typed publish/subscribe event bus for simulation instrumentation.
+
+Simulators publish small frozen event records; metrics collectors, tracers
+and experiment-specific probes subscribe to the event *types* they care
+about.  This decouples "what happened" from "who is counting": the platform
+simulator no longer hard-wires its metrics object, and new collectors (cost
+meters, timeline captures, debug traces) attach without touching simulator
+code.
+
+Dispatch is deterministic: subscribers of the exact event class run first in
+subscription order, then subscribers of each base class in method-resolution
+order.  Subscribing to :class:`SimEvent` therefore observes everything.
+
+The payload fields are deliberately loosely typed (``Any``): the bus sits
+below the domain layers (`repro.platform`, `repro.sched`) and must not import
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Type
+
+__all__ = [
+    "EventBus",
+    "InstanceCountChanged",
+    "RequestCompleted",
+    "SandboxProvisioned",
+    "SandboxTerminated",
+    "SimEvent",
+]
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Base class for all bus events; carries the simulation time."""
+
+    time_s: float
+
+
+@dataclass(frozen=True)
+class RequestCompleted(SimEvent):
+    """A request finished; ``outcome`` is the domain-level outcome record."""
+
+    outcome: Any
+
+
+@dataclass(frozen=True)
+class SandboxProvisioned(SimEvent):
+    """A new sandbox started cold-initialising."""
+
+    sandbox_name: str
+
+
+@dataclass(frozen=True)
+class SandboxTerminated(SimEvent):
+    """A sandbox was torn down (keep-alive expiry or scale-down)."""
+
+    sandbox_name: str
+
+
+@dataclass(frozen=True)
+class InstanceCountChanged(SimEvent):
+    """The alive-instance count was re-sampled after a pool change."""
+
+    count: int
+
+
+Subscriber = Callable[[SimEvent], None]
+
+
+class EventBus:
+    """Deterministic typed pub/sub: exact type first, then bases in MRO order."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[Type[SimEvent], List[Subscriber]] = {}
+
+    def subscribe(self, event_type: Type[SimEvent], callback: Subscriber) -> Subscriber:
+        """Register ``callback`` for events of ``event_type`` (or subclasses)."""
+        self._subscribers.setdefault(event_type, []).append(callback)
+        return callback
+
+    def unsubscribe(self, event_type: Type[SimEvent], callback: Subscriber) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        callbacks = self._subscribers.get(event_type, [])
+        if callback in callbacks:
+            callbacks.remove(callback)
+
+    def publish(self, event: SimEvent) -> None:
+        """Deliver ``event`` to all matching subscribers in deterministic order."""
+        for klass in type(event).__mro__:
+            if klass is object:
+                break
+            for callback in tuple(self._subscribers.get(klass, ())):
+                callback(event)
+
+    def subscriber_count(self, event_type: Type[SimEvent]) -> int:
+        """Number of direct subscriptions for ``event_type`` (diagnostics)."""
+        return len(self._subscribers.get(event_type, ()))

@@ -1,0 +1,221 @@
+"""The discrete-event simulation kernel shared by every simulator in the repo.
+
+The kernel owns the clock and decides what happens next.  Two kinds of
+participants coexist:
+
+- **Scheduled events**: pushed onto a binary heap with an absolute firing
+  time.  A monotonically increasing sequence number breaks time ties, so two
+  events scheduled for the same instant always fire in scheduling order --
+  this is what makes runs deterministic regardless of heap internals.
+- **Polled processes**: objects that compute their own next event time on
+  demand (e.g. the CPU-bandwidth scheduler, whose next event depends on
+  mutable state such as remaining quota).  The kernel asks each registered
+  process for its next event time and interleaves it with the heap.
+
+The clock never moves backwards: it advances to ``max(now, event.time)`` when
+an event fires.  ``peek``/``step``/``pause`` let a host embed the kernel in a
+larger co-simulation and advance it one event at a time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+__all__ = ["Event", "SimProcess", "SimulationKernel"]
+
+
+class Event:
+    """One scheduled occurrence; ordered by ``(time, seq)``."""
+
+    __slots__ = ("time", "seq", "kind", "data", "cancelled")
+
+    def __init__(self, time: float, seq: int, kind: str, data: Dict[str, Any]) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.data = data
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event(t={self.time:.6f}, seq={self.seq}, kind={self.kind!r})"
+
+
+@runtime_checkable
+class SimProcess(Protocol):
+    """A co-simulated component that computes its own next event time.
+
+    The kernel polls ``next_event_time`` to find the process's next event and
+    calls ``handle`` once the clock has advanced there.  Returning ``None``
+    means the process currently has nothing to do.
+    """
+
+    def next_event_time(self, now: float) -> Optional[float]:
+        ...
+
+    def handle(self, now: float) -> None:
+        ...
+
+
+class SimulationKernel:
+    """Deterministic discrete-event loop: heap-scheduled events + polled processes."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now = float(start_s)
+        self._handlers: Dict[str, Callable[[Event], None]] = {}
+        self._default_handler: Optional[Callable[[Event], None]] = None
+        self._processes: List[SimProcess] = []
+        self._paused = False
+        # Memoised result of the last peek(): (best process or None, its time).
+        # Polling a process's next_event_time can be expensive (the scheduler
+        # engine scans tasks, grids and quota budgets), and the peek/step pair
+        # used by run loops would otherwise poll twice per event.  Invalidated
+        # by schedule/cancel/add_process and consumed by step().
+        self._poll_cache: Optional[Tuple[Optional[SimProcess], float]] = None
+
+    # ------------------------------------------------------------------
+    # Clock and registration
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def on(self, kind: str, handler: Callable[[Event], None]) -> None:
+        """Register the handler for events of ``kind`` (one handler per kind)."""
+        self._handlers[kind] = handler
+
+    def on_default(self, handler: Callable[[Event], None]) -> None:
+        """Handler for kinds with no specific registration."""
+        self._default_handler = handler
+
+    def add_process(self, process: SimProcess) -> None:
+        """Register a polled co-simulation process (kept in registration order)."""
+        self._processes.append(process)
+        self._poll_cache = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, time_s: float, kind: str, data: Optional[Dict[str, Any]] = None) -> Event:
+        """Schedule an event at absolute time ``time_s``; returns a cancellable handle."""
+        event = Event(float(time_s), next(self._seq), kind, data or {})
+        heapq.heappush(self._heap, event)
+        self._poll_cache = None
+        return event
+
+    def schedule_in(self, delay_s: float, kind: str, data: Optional[Dict[str, Any]] = None) -> Event:
+        """Schedule an event ``delay_s`` seconds after the current time."""
+        return self.schedule(self._now + delay_s, kind, data)
+
+    def cancel(self, event: Event) -> None:
+        """Mark a scheduled event as cancelled; it is skipped when popped."""
+        event.cancelled = True
+        self._poll_cache = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _prune(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def _poll_processes(self) -> Tuple[Optional[SimProcess], float]:
+        """The registered process with the earliest next event (cached until consumed)."""
+        if self._poll_cache is None:
+            best: Optional[SimProcess] = None
+            best_time = float("inf")
+            for process in self._processes:
+                t = process.next_event_time(self._now)
+                if t is not None and t < best_time:
+                    best = process
+                    best_time = t
+            self._poll_cache = (best, best_time)
+        return self._poll_cache
+
+    def peek(self) -> Optional[float]:
+        """Time of the next event (heap or process) without executing it."""
+        self._prune()
+        process, process_time = self._poll_processes()
+        heap_time = self._heap[0].time if self._heap else None
+        if heap_time is None and process is None:
+            return None
+        if process is None:
+            return heap_time
+        if heap_time is None:
+            return process_time
+        return min(heap_time, process_time)
+
+    def step(self) -> Optional[Event]:
+        """Execute the single next event.
+
+        Advances the clock and dispatches the event's handler (heap events),
+        or calls ``handle`` on the owning process (polled events, returned as
+        a synthetic ``Event`` of kind ``"process"``).  Returns ``None`` when
+        nothing is pending.  Heap events win exact-time ties against polled
+        processes; among processes, registration order breaks ties.
+        """
+        self._prune()
+        process, process_time = self._poll_processes()
+        heap_time = self._heap[0].time if self._heap else None
+        if heap_time is None and process is None:
+            return None
+        if process is None or (heap_time is not None and heap_time <= process_time):
+            event = heapq.heappop(self._heap)
+            self._poll_cache = None
+            self._now = max(self._now, event.time)
+            handler = self._handlers.get(event.kind, self._default_handler)
+            if handler is None:
+                raise KeyError(f"no handler registered for event kind {event.kind!r}")
+            handler(event)
+            return event
+        self._poll_cache = None
+        # Hand the process the *raw* polled time: a process whose
+        # next_event_time regressed behind the clock must get the chance to
+        # detect it (the scheduler engine raises on backwards time) rather
+        # than having the kernel silently clamp the error away.
+        self._now = max(self._now, process_time)
+        process.handle(process_time)
+        return Event(self._now, -1, "process", {"process": process})
+
+    def pause(self) -> None:
+        """Stop the current ``run`` after the in-flight event (for co-simulation)."""
+        self._paused = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Execute events in order; returns the number executed.
+
+        Stops when the queue drains, the next event lies strictly beyond
+        ``until``, ``max_events`` events have been executed, ``stop()``
+        returns true after an event, or :meth:`pause` was called from a
+        handler.  Events beyond ``until`` stay queued for a later ``run``.
+        """
+        self._paused = False
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.peek()
+            if next_time is None or (until is not None and next_time > until):
+                break
+            self.step()
+            executed += 1
+            if self._paused:
+                break
+            if stop is not None and stop():
+                break
+        return executed

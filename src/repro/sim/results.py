@@ -1,0 +1,119 @@
+"""Structured result store the sweep orchestrator collects rows into.
+
+A :class:`ResultStore` is a thin, dependency-free container over the
+``List[Dict]`` row shape every experiment in this repo already produces, with
+the few operations sweeps actually need: filtering, grouping, per-group
+summaries, and CSV export for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+__all__ = ["ResultStore"]
+
+Row = Dict[str, object]
+
+
+class ResultStore:
+    """An ordered collection of result rows (dicts) from a scenario sweep."""
+
+    def __init__(self, rows: Optional[Iterable[Mapping[str, object]]] = None) -> None:
+        self._rows: List[Row] = [dict(row) for row in rows] if rows is not None else []
+
+    # ------------------------------------------------------------------
+    # Collection basics
+    # ------------------------------------------------------------------
+
+    def append(self, row: Mapping[str, object]) -> None:
+        self._rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    @property
+    def rows(self) -> List[Row]:
+        """The rows, in insertion (scenario) order."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResultStore):
+            return self._rows == other._rows
+        return NotImplemented
+
+    def columns(self) -> List[str]:
+        """Union of row keys, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self._rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def filter(self, **criteria: object) -> "ResultStore":
+        """Rows whose fields equal every given ``key=value`` criterion."""
+        return ResultStore(
+            row for row in self._rows if all(row.get(k) == v for k, v in criteria.items())
+        )
+
+    def unique(self, key: str) -> List[object]:
+        """Distinct values of ``key``, in first-seen order."""
+        seen: Dict[object, None] = {}
+        for row in self._rows:
+            if key in row:
+                seen.setdefault(row[key], None)
+        return list(seen)
+
+    def group_by(self, key: str) -> Dict[object, "ResultStore"]:
+        """Split rows into per-value stores, preserving row order."""
+        groups: Dict[object, ResultStore] = {}
+        for row in self._rows:
+            groups.setdefault(row.get(key), ResultStore()).append(row)
+        return groups
+
+    def summarize(self, group_key: str, value_key: str) -> List[Row]:
+        """Per-group count/mean/min/max of a numeric field."""
+        out: List[Row] = []
+        for group, store in self.group_by(group_key).items():
+            values = [
+                float(row[value_key])  # type: ignore[arg-type]
+                for row in store
+                if isinstance(row.get(value_key), (int, float))
+                and not math.isnan(float(row[value_key]))  # type: ignore[arg-type]
+            ]
+            out.append(
+                {
+                    group_key: group,
+                    "count": len(values),
+                    f"mean_{value_key}": sum(values) / len(values) if values else float("nan"),
+                    f"min_{value_key}": min(values) if values else float("nan"),
+                    f"max_{value_key}": max(values) if values else float("nan"),
+                }
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path: str, columns: Optional[Sequence[str]] = None) -> int:
+        """Write the rows as CSV; returns the number of data rows written."""
+        fieldnames = list(columns) if columns is not None else self.columns()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+            writer.writeheader()
+            for row in self._rows:
+                writer.writerow(row)
+        return len(self._rows)

@@ -1,0 +1,114 @@
+"""Tests for the typed event bus and the named RNG streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.events import (
+    EventBus,
+    InstanceCountChanged,
+    RequestCompleted,
+    SandboxProvisioned,
+    SimEvent,
+)
+from repro.sim.rng import RngStreams, derive_seed, named_generator
+
+
+@dataclass(frozen=True)
+class _CustomEvent(RequestCompleted):
+    pass
+
+
+class TestEventBus:
+    def test_exact_type_dispatch(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(RequestCompleted, lambda e: seen.append(e))
+        bus.publish(RequestCompleted(1.0, outcome="ok"))
+        bus.publish(SandboxProvisioned(2.0, sandbox_name="sb-1"))
+        assert len(seen) == 1
+        assert seen[0].outcome == "ok"
+
+    def test_subscribers_run_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(SimEvent, lambda e: order.append("first"))
+        bus.subscribe(SimEvent, lambda e: order.append("second"))
+        bus.subscribe(SimEvent, lambda e: order.append("third"))
+        bus.publish(SimEvent(0.0))
+        assert order == ["first", "second", "third"]
+
+    def test_base_class_subscription_sees_subclasses(self):
+        bus = EventBus()
+        all_events = []
+        bus.subscribe(SimEvent, lambda e: all_events.append(type(e).__name__))
+        bus.publish(RequestCompleted(1.0, outcome=None))
+        bus.publish(InstanceCountChanged(2.0, count=3))
+        assert all_events == ["RequestCompleted", "InstanceCountChanged"]
+
+    def test_exact_subscribers_run_before_base_subscribers(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(SimEvent, lambda e: order.append("base"))
+        bus.subscribe(RequestCompleted, lambda e: order.append("exact"))
+        bus.subscribe(_CustomEvent, lambda e: order.append("leaf"))
+        bus.publish(_CustomEvent(1.0, outcome=None))
+        assert order == ["leaf", "exact", "base"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        callback = bus.subscribe(SimEvent, lambda e: seen.append(e))
+        bus.publish(SimEvent(0.0))
+        bus.unsubscribe(SimEvent, callback)
+        bus.publish(SimEvent(1.0))
+        assert len(seen) == 1
+        bus.unsubscribe(SimEvent, callback)  # second removal is a no-op
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        assert bus.subscriber_count(SimEvent) == 0
+        bus.subscribe(SimEvent, lambda e: None)
+        assert bus.subscriber_count(SimEvent) == 1
+
+
+class TestNamedRng:
+    def test_same_name_same_stream(self):
+        a = named_generator(42, "arrivals").random(8)
+        b = named_generator(42, "arrivals").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = named_generator(42, "arrivals").random(8)
+        b = named_generator(42, "overhead").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_root_seeds_differ(self):
+        a = named_generator(1, "arrivals").random(8)
+        b = named_generator(2, "arrivals").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_stream_independent_of_sibling_consumption(self):
+        streams = RngStreams(7)
+        baseline = named_generator(7, "metrics").random(4)
+        streams.stream("noise").random(1000)  # heavy sibling consumption
+        assert np.array_equal(streams.stream("metrics").random(4), baseline)
+
+    def test_streams_are_cached(self):
+        streams = RngStreams(7)
+        gen = streams.stream("a")
+        first = gen.random(3)
+        again = streams.stream("a").random(3)
+        assert not np.array_equal(first, again)  # same generator advanced, not restarted
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(2026, "p=aws/rps=1") == derive_seed(2026, "p=aws/rps=1")
+        seeds = {derive_seed(2026, f"scenario-{i}") for i in range(100)}
+        assert len(seeds) == 100
+        assert all(0 <= seed < 2**63 for seed in seeds)
+
+    def test_int_names_supported(self):
+        assert derive_seed(5, 1, 2) == derive_seed(5, 1, 2)
+        assert derive_seed(5, 1, 2) != derive_seed(5, 2, 1)

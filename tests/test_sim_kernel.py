@@ -1,0 +1,205 @@
+"""Tests for the shared discrete-event kernel (`repro.sim.kernel`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Event, SimulationKernel
+
+
+def collect(kernel, kinds):
+    log = []
+    for kind in kinds:
+        kernel.on(kind, lambda event, k=kind: log.append((event.time, k, dict(event.data))))
+    return log
+
+
+class TestEventOrdering:
+    def test_events_fire_in_time_order(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["a", "b", "c"])
+        kernel.schedule(3.0, "c")
+        kernel.schedule(1.0, "a")
+        kernel.schedule(2.0, "b")
+        kernel.run()
+        assert [entry[1] for entry in log] == ["a", "b", "c"]
+
+    def test_same_time_ties_break_by_schedule_order(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["first", "second", "third"])
+        kernel.schedule(1.0, "first")
+        kernel.schedule(1.0, "second")
+        kernel.schedule(1.0, "third")
+        kernel.run()
+        assert [entry[1] for entry in log] == ["first", "second", "third"]
+
+    def test_clock_is_monotonic_and_tracks_events(self):
+        kernel = SimulationKernel()
+        times = []
+        kernel.on("tick", lambda event: times.append(kernel.now))
+        for t in (0.5, 1.5, 1.5, 4.0):
+            kernel.schedule(t, "tick")
+        kernel.run()
+        assert times == sorted(times)
+        assert kernel.now == 4.0
+
+    def test_events_scheduled_from_handlers_interleave(self):
+        kernel = SimulationKernel()
+        log = []
+
+        def on_spawn(event):
+            log.append(("spawn", kernel.now))
+            if kernel.now < 3.0:
+                kernel.schedule_in(1.0, "spawn")
+
+        kernel.on("spawn", on_spawn)
+        kernel.schedule(1.0, "spawn")
+        kernel.run()
+        assert log == [("spawn", 1.0), ("spawn", 2.0), ("spawn", 3.0)]
+
+    def test_missing_handler_raises(self):
+        kernel = SimulationKernel()
+        kernel.schedule(1.0, "unknown")
+        with pytest.raises(KeyError):
+            kernel.run()
+
+    def test_default_handler_catches_unregistered_kinds(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.on_default(lambda event: seen.append(event.kind))
+        kernel.schedule(1.0, "anything")
+        kernel.run()
+        assert seen == ["anything"]
+
+
+class TestPeekStepCancelPause:
+    def test_peek_returns_next_time_without_executing(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["x"])
+        kernel.schedule(2.5, "x")
+        assert kernel.peek() == 2.5
+        assert log == []
+        assert kernel.now == 0.0
+
+    def test_peek_empty_returns_none(self):
+        assert SimulationKernel().peek() is None
+
+    def test_step_executes_exactly_one_event(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["x"])
+        kernel.schedule(1.0, "x")
+        kernel.schedule(2.0, "x")
+        event = kernel.step()
+        assert isinstance(event, Event)
+        assert len(log) == 1
+        assert kernel.now == 1.0
+        assert kernel.step() is not None
+        assert kernel.step() is None
+
+    def test_cancelled_events_are_skipped(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["keep", "drop"])
+        kernel.schedule(1.0, "keep")
+        handle = kernel.schedule(2.0, "drop")
+        kernel.schedule(3.0, "keep")
+        kernel.cancel(handle)
+        kernel.run()
+        assert [entry[1] for entry in log] == ["keep", "keep"]
+
+    def test_run_until_leaves_later_events_queued(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["x"])
+        for t in (1.0, 2.0, 3.0):
+            kernel.schedule(t, "x")
+        executed = kernel.run(until=2.0)
+        assert executed == 2
+        assert kernel.peek() == 3.0
+        kernel.run()
+        assert len(log) == 3
+
+    def test_run_max_events(self):
+        kernel = SimulationKernel()
+        collect(kernel, ["x"])
+        for t in (1.0, 2.0, 3.0):
+            kernel.schedule(t, "x")
+        assert kernel.run(max_events=2) == 2
+        assert kernel.peek() == 3.0
+
+    def test_pause_from_handler_stops_run(self):
+        kernel = SimulationKernel()
+        log = []
+
+        def handler(event):
+            log.append(kernel.now)
+            kernel.pause()
+
+        kernel.on("x", handler)
+        kernel.schedule(1.0, "x")
+        kernel.schedule(2.0, "x")
+        assert kernel.run() == 1
+        assert log == [1.0]
+        assert kernel.run() == 1  # resumes where it left off
+        assert log == [1.0, 2.0]
+
+    def test_run_stop_predicate(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["x"])
+        for t in (1.0, 2.0, 3.0):
+            kernel.schedule(t, "x")
+        kernel.run(stop=lambda: len(log) >= 2)
+        assert len(log) == 2
+
+
+class _CountdownProcess:
+    """A polled process firing at fixed times (co-simulation stand-in)."""
+
+    def __init__(self, fire_times):
+        self.remaining = list(fire_times)
+        self.fired = []
+
+    def next_event_time(self, now):
+        return self.remaining[0] if self.remaining else None
+
+    def handle(self, now):
+        self.fired.append(now)
+        self.remaining.pop(0)
+
+
+class TestPolledProcesses:
+    def test_process_events_interleave_with_heap_events(self):
+        kernel = SimulationKernel()
+        log = collect(kernel, ["heap"])
+        process = _CountdownProcess([1.5, 3.5])
+        kernel.add_process(process)
+        kernel.schedule(1.0, "heap")
+        kernel.schedule(2.0, "heap")
+        kernel.run()
+        assert process.fired == [1.5, 3.5]
+        assert [entry[0] for entry in log] == [1.0, 2.0]
+        assert kernel.now == 3.5
+
+    def test_heap_event_wins_exact_time_tie(self):
+        kernel = SimulationKernel()
+        order = []
+        kernel.on("heap", lambda event: order.append("heap"))
+
+        class TieProcess:
+            def __init__(self):
+                self.done = False
+
+            def next_event_time(self, now):
+                return None if self.done else 1.0
+
+            def handle(self, now):
+                order.append("process")
+                self.done = True
+
+        kernel.add_process(TieProcess())
+        kernel.schedule(1.0, "heap")
+        kernel.run()
+        assert order == ["heap", "process"]
+
+    def test_peek_sees_process_times(self):
+        kernel = SimulationKernel()
+        kernel.add_process(_CountdownProcess([0.75]))
+        assert kernel.peek() == 0.75
