@@ -127,6 +127,12 @@ def _exploit() -> List[Mapping[str, object]]:
     return exploit_summary()
 
 
+def _cluster_costs() -> List[Mapping[str, object]]:
+    from repro.analysis.cluster_costs import cluster_costs_experiment
+
+    return cluster_costs_experiment()
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     "table1": Experiment(
         "table1", "Billing models of major serverless platforms", "repro.billing.catalog", _table1
@@ -172,6 +178,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
     ),
     "exploit": Experiment(
         "exploit", "Intermittent-execution and keep-alive exploits", "repro.analysis.exploit", _exploit
+    ),
+    "cluster_costs": Experiment(
+        "cluster_costs",
+        "Cluster co-simulation: fleet density and live-metered cost",
+        "repro.analysis.cluster_costs",
+        _cluster_costs,
     ),
 }
 

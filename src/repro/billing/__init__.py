@@ -46,6 +46,7 @@ from repro.billing.pricing import (
 )
 from repro.billing.calculator import BillingCalculator, InvocationBillingInput
 from repro.billing.inflation import InflationAnalyzer, InflationResult
+from repro.billing.meter import CostMeter, RequestResources, replay_trace
 
 __all__ = [
     "GB",
@@ -73,4 +74,7 @@ __all__ = [
     "InvocationBillingInput",
     "InflationAnalyzer",
     "InflationResult",
+    "CostMeter",
+    "RequestResources",
+    "replay_trace",
 ]

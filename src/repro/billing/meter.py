@@ -1,0 +1,315 @@
+"""Live cost metering: an event-bus subscriber that invoices as the simulation runs.
+
+The batch path (:class:`repro.billing.calculator.BillingCalculator` over a
+finished trace) answers "what did this workload cost" after the fact.  The
+:class:`CostMeter` answers the same question *while a simulation runs*: it
+subscribes to the typed sandbox-lifecycle and request-completion events on a
+:class:`repro.sim.events.EventBus` and accumulates billable vCPU-seconds,
+GB-seconds and money incrementally through the very same
+:class:`BillingCalculator`, so the live and batch paths agree exactly -- the
+equivalence the cluster co-simulation relies on (and a test asserts) is that
+metering a trace live through the bus produces the identical invoice to
+billing the trace in batch.
+
+Two billing families are handled:
+
+- **Request-billed models** (execution / turnaround / CPU-time billable time):
+  each :class:`~repro.sim.events.RequestCompleted` event is billed as one
+  invocation.
+- **Instance-billed models** (``BillableTime.INSTANCE``): sandbox lifespans
+  are metered from cold-start to eviction and each closed instance is billed
+  over its lifespan (without the per-request fee, matching
+  :mod:`repro.billing.instance_billing`).
+
+Idle (keep-alive) instance-seconds are accounted separately from busy time so
+provider-side keep-alive cost can be read off the meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.billing.calculator import BilledInvocation, BillingCalculator, InvocationBillingInput
+from repro.billing.models import BillableTime, BillingModel
+from repro.billing.units import ResourceKind
+from repro.sim.events import (
+    EventBus,
+    RequestCompleted,
+    SandboxBusy,
+    SandboxColdStart,
+    SandboxIdle,
+    SandboxTerminated,
+)
+from repro.traces.schema import RequestRecord, Trace
+
+__all__ = ["RequestResources", "CostMeter", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class RequestResources:
+    """Per-request resource context for outcomes that do not carry their own.
+
+    Simulator outcomes (:class:`repro.platform.metrics.RequestOutcome`) report
+    durations but not allocations or consumption; the deployment knows those.
+    ``used_cpu_seconds`` is the CPU work one request performs (contention
+    stretches wall-clock time, not CPU work), ``used_memory_gb`` the average
+    resident memory.
+    """
+
+    alloc_vcpus: float
+    alloc_memory_gb: float
+    used_cpu_seconds: float
+    used_memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.alloc_vcpus <= 0 or self.alloc_memory_gb <= 0:
+            raise ValueError("allocations must be positive")
+        if self.used_cpu_seconds < 0 or self.used_memory_gb < 0:
+            raise ValueError("usages must be >= 0")
+
+    @classmethod
+    def from_function(cls, function: object) -> "RequestResources":
+        """Billing context from a function config (``repro.platform.config`` shape).
+
+        Duck-typed (``alloc_vcpus``, ``alloc_memory_gb``, ``cpu_time_s``,
+        ``used_memory_gb``) so the billing layer does not import the platform
+        layer.
+        """
+        return cls(
+            alloc_vcpus=function.alloc_vcpus,  # type: ignore[attr-defined]
+            alloc_memory_gb=function.alloc_memory_gb,  # type: ignore[attr-defined]
+            used_cpu_seconds=function.cpu_time_s,  # type: ignore[attr-defined]
+            used_memory_gb=function.used_memory_gb,  # type: ignore[attr-defined]
+        )
+
+
+@dataclass
+class _OpenInstance:
+    """A sandbox between cold start and eviction."""
+
+    started_s: float
+    alloc_vcpus: float
+    alloc_memory_gb: float
+    idle_since_s: Optional[float] = None
+    idle_seconds: float = 0.0
+
+
+class CostMeter:
+    """Accumulates billable resources and money from simulation events.
+
+    One meter meters one platform billing model.  Attach it to any number of
+    event buses (one per co-simulated function, each with its own
+    :class:`RequestResources` context), or feed it records directly via
+    :meth:`meter_request` / :meth:`meter_outcome`.
+    """
+
+    def __init__(
+        self,
+        platform: "str | BillingModel",
+        include_invocation_fee: bool = True,
+    ) -> None:
+        self.calculator = BillingCalculator(platform)
+        self.include_invocation_fee = include_invocation_fee
+        self._instance_billed = self.calculator.model.billable_time is BillableTime.INSTANCE
+        # Request-level accumulators.
+        self.num_requests = 0
+        self.num_cold_starts = 0
+        self.cost_usd = 0.0
+        self.billable_cpu_seconds = 0.0
+        self.billable_memory_gb_seconds = 0.0
+        self.actual_cpu_seconds = 0.0
+        self.actual_memory_gb_seconds = 0.0
+        self.invocation_fee_usd = 0.0
+        # Instance-level accumulators.
+        self._open_instances: Dict[str, _OpenInstance] = {}
+        self.instances_started = 0
+        self.instances_closed = 0
+        self.instance_seconds = 0.0
+        self.idle_instance_seconds = 0.0
+        self.allocated_vcpu_seconds = 0.0
+        self.allocated_memory_gb_seconds = 0.0
+
+    @property
+    def model(self) -> BillingModel:
+        return self.calculator.model
+
+    # ------------------------------------------------------------------
+    # Bus wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, bus: EventBus, resources: Optional[RequestResources] = None) -> "CostMeter":
+        """Subscribe to a bus; ``resources`` fills in what outcomes don't carry."""
+        bus.subscribe(
+            RequestCompleted, lambda event: self.meter_outcome(event.outcome, resources)
+        )
+        bus.subscribe(SandboxColdStart, self._on_cold_start)
+        bus.subscribe(SandboxBusy, self._on_busy)
+        bus.subscribe(SandboxIdle, self._on_idle)
+        bus.subscribe(SandboxTerminated, self._on_terminated)
+        return self
+
+    # ------------------------------------------------------------------
+    # Request metering
+    # ------------------------------------------------------------------
+
+    def meter_request(self, inputs: InvocationBillingInput, cold_start: bool = False) -> BilledInvocation:
+        """Bill one invocation and fold it into the running totals."""
+        billed = self.calculator.bill(inputs, include_invocation_fee=self.include_invocation_fee)
+        self.num_requests += 1
+        if cold_start:
+            self.num_cold_starts += 1
+        self.cost_usd += billed.invoice.total
+        self.billable_cpu_seconds += billed.billable_cpu_seconds
+        self.billable_memory_gb_seconds += billed.billable_memory_gb_seconds
+        self.actual_cpu_seconds += billed.actual_cpu_seconds
+        self.actual_memory_gb_seconds += billed.actual_memory_gb_seconds
+        self.invocation_fee_usd += billed.invoice.charge_for("invocation_fee")
+        return billed
+
+    def meter_outcome(self, outcome: object, resources: Optional[RequestResources] = None) -> None:
+        """Meter a ``RequestCompleted`` payload: a trace record or a simulator outcome."""
+        is_record = isinstance(outcome, RequestRecord)
+        execution_s = getattr(outcome, "execution_duration_s", None)
+        if not is_record and execution_s is None:
+            raise TypeError(
+                f"cannot meter outcome of type {type(outcome).__name__}: expected a "
+                "RequestRecord or an object with execution_duration_s"
+            )
+        cold = bool(getattr(outcome, "cold_start", False))
+        if self._instance_billed:
+            # Instance-billed models charge for lifespans, not invocations; the
+            # per-request fee usually does not apply either.  Count the request
+            # for rate statistics but bill nothing here.
+            self.num_requests += 1
+            if cold:
+                self.num_cold_starts += 1
+            return
+        if is_record:
+            self.meter_request(InvocationBillingInput.from_request(outcome), cold)
+            return
+        if resources is None:
+            raise ValueError(
+                "metering simulator outcomes needs a RequestResources context "
+                "(allocations and per-request usage are not part of the outcome)"
+            )
+        self.meter_request(
+            InvocationBillingInput(
+                execution_s=float(execution_s),
+                init_s=float(getattr(outcome, "init_duration_s", 0.0)),
+                alloc_vcpus=resources.alloc_vcpus,
+                alloc_memory_gb=resources.alloc_memory_gb,
+                used_cpu_seconds=resources.used_cpu_seconds,
+                used_memory_gb=resources.used_memory_gb,
+            ),
+            cold,
+        )
+
+    # ------------------------------------------------------------------
+    # Instance metering (sandbox lifecycle events)
+    # ------------------------------------------------------------------
+
+    def _on_cold_start(self, event: SandboxColdStart) -> None:
+        self._open_instances[event.sandbox_name] = _OpenInstance(
+            started_s=event.time_s,
+            alloc_vcpus=event.alloc_vcpus,
+            alloc_memory_gb=event.alloc_memory_gb,
+        )
+        self.instances_started += 1
+
+    def _on_busy(self, event: SandboxBusy) -> None:
+        instance = self._open_instances.get(event.sandbox_name)
+        if instance is not None and instance.idle_since_s is not None:
+            instance.idle_seconds += max(event.time_s - instance.idle_since_s, 0.0)
+            instance.idle_since_s = None
+
+    def _on_idle(self, event: SandboxIdle) -> None:
+        instance = self._open_instances.get(event.sandbox_name)
+        if instance is not None:
+            instance.idle_since_s = event.time_s
+
+    def _on_terminated(self, event: SandboxTerminated) -> None:
+        instance = self._open_instances.pop(event.sandbox_name, None)
+        if instance is not None:
+            self._close_instance(instance, event.time_s)
+
+    def _close_instance(self, instance: _OpenInstance, now_s: float) -> None:
+        lifespan = max(now_s - instance.started_s, 0.0)
+        if instance.idle_since_s is not None:
+            instance.idle_seconds += max(now_s - instance.idle_since_s, 0.0)
+            instance.idle_since_s = None
+        self.instances_closed += 1
+        self.instance_seconds += lifespan
+        self.idle_instance_seconds += instance.idle_seconds
+        self.allocated_vcpu_seconds += instance.alloc_vcpus * lifespan
+        self.allocated_memory_gb_seconds += instance.alloc_memory_gb * lifespan
+        if self._instance_billed and lifespan > 0:
+            invoice = self.model.invoice(
+                execution_s=0.0,
+                allocations={
+                    ResourceKind.CPU: instance.alloc_vcpus,
+                    ResourceKind.MEMORY: instance.alloc_memory_gb,
+                },
+                usages={},
+                instance_s=lifespan,
+                include_invocation_fee=False,
+            )
+            self.cost_usd += invoice.total
+            billable = self.model.billable_resources(
+                execution_s=0.0,
+                allocations={
+                    ResourceKind.CPU: instance.alloc_vcpus,
+                    ResourceKind.MEMORY: instance.alloc_memory_gb,
+                },
+                instance_s=lifespan,
+            )
+            self.billable_cpu_seconds += billable.get(ResourceKind.CPU, 0.0)
+            self.billable_memory_gb_seconds += billable.get(ResourceKind.MEMORY, 0.0)
+
+    def finalize(self, now_s: float) -> None:
+        """Close instances still open at the end of the simulation horizon."""
+        for name in sorted(self._open_instances):
+            self._close_instance(self._open_instances.pop(name), now_s)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def totals(self) -> Dict[str, float]:
+        """The running totals as one flat row."""
+        return {
+            "platform": self.model.platform,
+            "num_requests": float(self.num_requests),
+            "num_cold_starts": float(self.num_cold_starts),
+            "cost_usd": self.cost_usd,
+            "billable_cpu_seconds": self.billable_cpu_seconds,
+            "billable_memory_gb_seconds": self.billable_memory_gb_seconds,
+            "actual_cpu_seconds": self.actual_cpu_seconds,
+            "actual_memory_gb_seconds": self.actual_memory_gb_seconds,
+            "invocation_fee_usd": self.invocation_fee_usd,
+            "instances_started": float(self.instances_started),
+            "instances_closed": float(self.instances_closed),
+            "instance_seconds": self.instance_seconds,
+            "idle_instance_seconds": self.idle_instance_seconds,
+            "allocated_vcpu_seconds": self.allocated_vcpu_seconds,
+            "allocated_memory_gb_seconds": self.allocated_memory_gb_seconds,
+        }
+
+
+def replay_trace(
+    trace: "Trace | Sequence[RequestRecord]",
+    bus: EventBus,
+) -> List[RequestRecord]:
+    """Replay a trace's requests as ``RequestCompleted`` events on a bus.
+
+    Requests are published in completion-time order (stable-sorted by
+    ``arrival + turnaround``), each stamped with its completion time -- the
+    order a live simulation would have emitted them.  Returns the records in
+    the order published so a caller can run the batch calculator over exactly
+    the same sequence and compare invoices one-to-one.
+    """
+    records = trace.requests if isinstance(trace, Trace) else list(trace)
+    ordered = sorted(records, key=lambda r: r.arrival_s + r.turnaround_s)
+    for record in ordered:
+        bus.publish(RequestCompleted(record.arrival_s + record.turnaround_s, record))
+    return ordered

@@ -7,6 +7,7 @@ Usage::
     repro-serverless-costs run all --format markdown
     repro-serverless-costs trace --requests 50000 --output trace.csv
     repro-serverless-costs sweep --processes 4 --output sweep.csv
+    repro-serverless-costs cluster --fleet-sizes 8,16 --policies best_fit,worst_fit --output cluster.csv
 """
 
 from __future__ import annotations
@@ -89,6 +90,66 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
     sweep_parser.add_argument("--output", help="Also write the result rows to this CSV path")
     sweep_parser.add_argument(
+        "--format", choices=("text", "markdown"), default="text", help="Output table format"
+    )
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="Co-simulate a host fleet: fleet size x placement policy x keep-alive sweep",
+        description=(
+            "Sweep cluster co-simulations (every function's platform simulator, the "
+            "event-driven fleet, and the live cost meter in one event loop) over a "
+            "(fleet size x placement policy x keep-alive) grid.  Seeds derive from "
+            "--seed and each grid point's identity, so sequential and parallel runs "
+            "produce identical rows."
+        ),
+    )
+    cluster_parser.add_argument(
+        "--fleet-sizes",
+        default="4,8",
+        help="Comma-separated numbers of functions deployed into the cluster",
+    )
+    cluster_parser.add_argument(
+        "--policies",
+        default="first_fit,best_fit,worst_fit",
+        help="Comma-separated placement policies (first_fit, best_fit, worst_fit)",
+    )
+    cluster_parser.add_argument(
+        "--keep-alive-s",
+        default="60",
+        help="Comma-separated keep-alive windows in seconds (rescales the preset's window)",
+    )
+    cluster_parser.add_argument(
+        "--platform",
+        default="gcp_run_like",
+        help="Serving-platform preset every function runs on (see repro.platform.presets)",
+    )
+    cluster_parser.add_argument(
+        "--billing",
+        default="gcp_run_request",
+        help="Billing model metered live (see repro.billing.catalog)",
+    )
+    cluster_parser.add_argument(
+        "--rps", type=float, default=2.0, help="Request rate per function (requests/second)"
+    )
+    cluster_parser.add_argument(
+        "--duration-s", type=float, default=30.0, help="Traffic duration per scenario (seconds)"
+    )
+    cluster_parser.add_argument(
+        "--host-vcpus", type=float, default=16.0, help="vCPU capacity of each host"
+    )
+    cluster_parser.add_argument(
+        "--host-memory-gb", type=float, default=64.0, help="Memory capacity of each host (GB)"
+    )
+    cluster_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="Worker processes (default: sequential; -1 uses every core)",
+    )
+    cluster_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
+    cluster_parser.add_argument("--output", help="Also write the result rows to this CSV path")
+    cluster_parser.add_argument(
         "--format", choices=("text", "markdown"), default="text", help="Output table format"
     )
     return parser
@@ -174,6 +235,54 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_cluster(args: "argparse.Namespace") -> int:
+    from repro.analysis.cluster_costs import cluster_cost_sweep
+
+    try:
+        fleet_sizes = [int(value) for value in args.fleet_sizes.split(",") if value.strip()]
+        keep_alive = [float(value) for value in args.keep_alive_s.split(",") if value.strip()]
+    except ValueError:
+        print(
+            f"invalid --fleet-sizes/--keep-alive-s list: {args.fleet_sizes!r} / {args.keep_alive_s!r}",
+            file=sys.stderr,
+        )
+        return 2
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    if not fleet_sizes or not policies or not keep_alive:
+        print("cluster needs at least one fleet size, policy, and keep-alive value", file=sys.stderr)
+        return 2
+    try:
+        store = cluster_cost_sweep(
+            axes={
+                "num_functions": fleet_sizes,
+                "placement_policy": policies,
+                "keep_alive_s": keep_alive,
+            },
+            common={
+                "platform": args.platform,
+                "billing": args.billing,
+                "rps_per_function": args.rps,
+                "duration_s": args.duration_s,
+                "host_vcpus": args.host_vcpus,
+                "host_memory_gb": args.host_memory_gb,
+            },
+            base_seed=args.seed,
+            processes=args.processes,
+        )
+    except (KeyError, ValueError) as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    print(f"== cluster: {len(store)} scenarios (base seed {args.seed}) ==")
+    if args.format == "markdown":
+        print(to_markdown_table(store.rows))
+    else:
+        print(render_table(store.rows))
+    if args.output:
+        written = store.to_csv(args.output)
+        print(f"wrote {written} rows to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -186,6 +295,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args.requests, args.functions, args.seed, args.output)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     parser.print_help()
     return 1
 

@@ -21,6 +21,7 @@ from repro.cluster.placement import (
     PlacementPolicy,
     PlacementResult,
     SandboxRequirement,
+    choose_host,
     place_sandboxes,
 )
 from repro.cluster.density import (
@@ -28,6 +29,8 @@ from repro.cluster.density import (
     deployment_density_study,
     keepalive_density_impact,
 )
+from repro.cluster.fleet import Fleet, FleetConfig
+from repro.cluster.cosim import ClusterResult, ClusterSimulator, FunctionDeployment
 
 __all__ = [
     "Host",
@@ -35,8 +38,14 @@ __all__ = [
     "PlacementPolicy",
     "PlacementResult",
     "SandboxRequirement",
+    "choose_host",
     "place_sandboxes",
     "DensityReport",
     "deployment_density_study",
     "keepalive_density_impact",
+    "Fleet",
+    "FleetConfig",
+    "ClusterResult",
+    "ClusterSimulator",
+    "FunctionDeployment",
 ]

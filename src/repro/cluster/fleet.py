@@ -1,0 +1,209 @@
+"""Event-driven fleet placement: the provider's host pool over simulated time.
+
+:func:`repro.cluster.placement.place_sandboxes` packs a *static* sandbox
+population once.  The :class:`Fleet` is its event-driven counterpart: it
+subscribes to the typed sandbox-lifecycle events platform simulators publish
+on the shared :class:`~repro.sim.events.EventBus` and maintains the host pool
+continuously -- admitting each cold-started sandbox onto a host under a
+FIRST/BEST/WORST-FIT policy, releasing capacity when the sandbox is evicted,
+and opening hosts on demand up to a cap.
+
+The fleet is also a polled kernel process (:class:`repro.sim.kernel.SimProcess`):
+registered on the co-simulation kernel, it samples fleet-level utilisation on
+a fixed interval, producing the deployment-density timeline that the static
+packer cannot express (density under keep-alive churn, autoscaler growth, and
+placement-policy interaction -- the provider-side cost story of §2.2/§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.host import Host, HostSpec
+from repro.cluster.placement import PlacementPolicy, SandboxRequirement, choose_or_open_host
+from repro.sim.events import EventBus, SandboxColdStart, SandboxTerminated
+from repro.sim.kernel import PeriodicProcess
+
+__all__ = ["FleetConfig", "Fleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Host pool parameters of one fleet.
+
+    Attributes:
+        host_spec: capacity of each (homogeneous) host.
+        policy: bin-packing policy used to admit sandboxes.
+        max_hosts: hard cap on open hosts; admissions beyond it fail.
+        sample_interval_s: period of the utilisation timeline samples taken
+            when the fleet is registered as a kernel process; ``None``
+            disables periodic sampling.
+    """
+
+    host_spec: HostSpec = field(default_factory=HostSpec)
+    policy: PlacementPolicy = PlacementPolicy.BEST_FIT
+    max_hosts: int = 100_000
+    sample_interval_s: Optional[float] = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_hosts < 0:
+            raise ValueError("max_hosts must be >= 0")
+        if self.sample_interval_s is not None and self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive (or None)")
+
+
+class Fleet:
+    """The host pool as a live co-simulation participant.
+
+    Event-driven: :meth:`admit` on every :class:`SandboxColdStart`,
+    :meth:`release` on every :class:`SandboxTerminated` (evictions are a
+    subclass, so both teardown paths release capacity).  Polled: when added
+    to the kernel via ``kernel.add_process(fleet)``, it records one
+    utilisation sample per ``sample_interval_s``.
+    """
+
+    def __init__(self, config: Optional[FleetConfig] = None) -> None:
+        self.config = config or FleetConfig()
+        self.hosts: List[Host] = []
+        #: sandbox name -> (host, vcpus, memory_gb) for everything placed.
+        self._placements: Dict[str, Tuple[Host, float, float]] = {}
+        #: (time, sandbox name) of admissions that found no host.
+        self.unplaceable: List[Tuple[float, str]] = []
+        #: periodic utilisation samples (see :meth:`sample`).
+        self.timeline: List[Dict[str, float]] = []
+        self.admitted = 0
+        self.released = 0
+        self.peak_hosts_open = 0
+        self.peak_placed = 0
+        self._sampler: Optional[PeriodicProcess] = (
+            PeriodicProcess(self.config.sample_interval_s, self._record_sample)
+            if self.config.sample_interval_s is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Event-driven admission / eviction
+    # ------------------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "Fleet":
+        """Subscribe to sandbox lifecycle events on a (shared) bus."""
+        bus.subscribe(SandboxColdStart, self._on_cold_start)
+        bus.subscribe(SandboxTerminated, self._on_terminated)
+        return self
+
+    def _on_cold_start(self, event: SandboxColdStart) -> None:
+        self.admit(event.time_s, event.sandbox_name, event.alloc_vcpus, event.alloc_memory_gb)
+
+    def _on_terminated(self, event: SandboxTerminated) -> None:
+        self.release(event.time_s, event.sandbox_name)
+
+    def admit(self, time_s: float, sandbox_name: str, vcpus: float, memory_gb: float) -> Optional[Host]:
+        """Place one sandbox; opens a new host when nothing fits (up to the cap).
+
+        Returns the chosen host, or ``None`` when the sandbox is unplaceable
+        (oversized for a whole host, or the host cap is reached).
+        """
+        requirement = SandboxRequirement(sandbox_name, vcpus, memory_gb)
+        chosen = choose_or_open_host(
+            self.hosts, requirement, self.config.policy, self.config.host_spec, self.config.max_hosts
+        )
+        if chosen is None:
+            self.unplaceable.append((time_s, sandbox_name))
+            return None
+        chosen.place(sandbox_name, vcpus, memory_gb)
+        self._placements[sandbox_name] = (chosen, vcpus, memory_gb)
+        self.admitted += 1
+        self.peak_hosts_open = max(self.peak_hosts_open, len(self.hosts))
+        self.peak_placed = max(self.peak_placed, len(self._placements))
+        return chosen
+
+    def release(self, time_s: float, sandbox_name: str) -> None:
+        """Free the capacity a sandbox held (no-op for unplaced sandboxes)."""
+        placement = self._placements.pop(sandbox_name, None)
+        if placement is None:
+            return
+        host, vcpus, memory_gb = placement
+        host.remove(sandbox_name, vcpus, memory_gb)
+        self.released += 1
+
+    def host_of(self, sandbox_name: str) -> Optional[Host]:
+        """The host currently running a sandbox, if it is placed."""
+        placement = self._placements.get(sandbox_name)
+        return placement[0] if placement is not None else None
+
+    @property
+    def num_placed(self) -> int:
+        return len(self._placements)
+
+    # ------------------------------------------------------------------
+    # Polled kernel process: periodic utilisation sampling (delegated to a
+    # shared PeriodicProcess so the tick-grid behaviour matches the autoscaler)
+    # ------------------------------------------------------------------
+
+    periodic = True  # an unbounded kernel.run() must not spin on sampler ticks
+
+    def _record_sample(self, now: float) -> None:
+        self.timeline.append(self.sample(now))
+
+    def next_event_time(self, now: float) -> Optional[float]:
+        return self._sampler.next_event_time(now) if self._sampler is not None else None
+
+    def handle(self, now: float) -> None:
+        if self._sampler is not None:
+            self._sampler.handle(now)
+
+    def sample(self, now_s: float) -> Dict[str, float]:
+        """One fleet-utilisation sample at ``now_s``."""
+        hosts = self.hosts
+        num_hosts = len(hosts)
+        placed = len(self._placements)
+        stranded_vcpus = 0.0
+        stranded_memory_gb = 0.0
+        for host in hosts:
+            stranded = host.stranded_capacity()
+            stranded_vcpus += stranded["vcpus"]
+            stranded_memory_gb += stranded["memory_gb"]
+        return {
+            "time_s": now_s,
+            "hosts_open": float(num_hosts),
+            "sandboxes_placed": float(placed),
+            "deployment_density": placed / num_hosts if num_hosts else 0.0,
+            "mean_cpu_utilization": (
+                sum(h.cpu_utilization for h in hosts) / num_hosts if num_hosts else 0.0
+            ),
+            "mean_memory_utilization": (
+                sum(h.memory_utilization for h in hosts) / num_hosts if num_hosts else 0.0
+            ),
+            "stranded_vcpus": stranded_vcpus,
+            "stranded_memory_gb": stranded_memory_gb,
+        }
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Whole-run fleet summary: peaks and timeline means over the run.
+
+        Mean columns average the periodic timeline samples; with sampling
+        disabled they fall back to a single end-state sample.
+        """
+        rows = self.timeline or [self.sample(0.0)]
+
+        def _mean(key: str) -> float:
+            return sum(row[key] for row in rows) / len(rows)
+
+        return {
+            "policy": self.config.policy.value,
+            "hosts_open": float(len(self.hosts)),
+            "peak_hosts_open": float(self.peak_hosts_open),
+            "peak_sandboxes_placed": float(self.peak_placed),
+            "admitted": float(self.admitted),
+            "released": float(self.released),
+            "unplaceable": float(len(self.unplaceable)),
+            "peak_deployment_density": max(row["deployment_density"] for row in rows),
+            "mean_deployment_density": _mean("deployment_density"),
+            "mean_cpu_utilization": _mean("mean_cpu_utilization"),
+            "mean_memory_utilization": _mean("mean_memory_utilization"),
+        }

@@ -69,6 +69,14 @@ class Host:
         self.allocated_memory_gb += memory_gb
         self.sandboxes.append(sandbox_id)
 
+    def remove(self, sandbox_id: str, vcpus: float, memory_gb: float) -> None:
+        """Release a sandbox's allocation (the fleet layer's eviction path)."""
+        if sandbox_id not in self.sandboxes:
+            raise KeyError(f"sandbox {sandbox_id} is not placed on {self.name}")
+        self.sandboxes.remove(sandbox_id)
+        self.allocated_vcpus = max(self.allocated_vcpus - vcpus, 0.0)
+        self.allocated_memory_gb = max(self.allocated_memory_gb - memory_gb, 0.0)
+
     def stranded_capacity(self) -> Dict[str, float]:
         """Capacity that cannot be used because the *other* resource is exhausted.
 

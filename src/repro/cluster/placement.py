@@ -8,7 +8,14 @@ from typing import List, Optional, Sequence
 
 from repro.cluster.host import Host, HostSpec
 
-__all__ = ["SandboxRequirement", "PlacementPolicy", "PlacementResult", "place_sandboxes"]
+__all__ = [
+    "SandboxRequirement",
+    "PlacementPolicy",
+    "PlacementResult",
+    "choose_host",
+    "choose_or_open_host",
+    "place_sandboxes",
+]
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,56 @@ def _score(host: Host, requirement: SandboxRequirement, policy: PlacementPolicy)
     return 0.0  # FIRST_FIT: order of the host list decides
 
 
+def choose_host(
+    hosts: Sequence[Host],
+    requirement: SandboxRequirement,
+    policy: PlacementPolicy,
+) -> Optional[Host]:
+    """The host the policy places ``requirement`` on, or ``None`` if nothing fits.
+
+    Deterministic across runs and policies: score ties are broken by position
+    in ``hosts`` (the order hosts were opened), never by dict/hash order.
+    Shared by the one-shot :func:`place_sandboxes` packer and the event-driven
+    :class:`repro.cluster.fleet.Fleet`.
+    """
+    candidates = [
+        (index, host)
+        for index, host in enumerate(hosts)
+        if host.fits(requirement.vcpus, requirement.memory_gb)
+    ]
+    if not candidates:
+        return None
+    if policy is PlacementPolicy.FIRST_FIT:
+        return candidates[0][1]
+    return min(candidates, key=lambda pair: (_score(pair[1], requirement, policy), pair[0]))[1]
+
+
+def choose_or_open_host(
+    hosts: List[Host],
+    requirement: SandboxRequirement,
+    policy: PlacementPolicy,
+    host_spec: HostSpec,
+    max_hosts: int,
+) -> Optional[Host]:
+    """The policy's host for ``requirement``, opening a new one when nothing fits.
+
+    Returns ``None`` when the requirement is oversized for a whole host or
+    the host cap is reached.  A newly opened host is appended to ``hosts``
+    and named by open order (``host-00000``, ...), which keeps packings
+    deterministic across processes -- both the one-shot packer and the
+    event-driven fleet rely on this exact naming.
+    """
+    if requirement.vcpus > host_spec.vcpus or requirement.memory_gb > host_spec.memory_gb:
+        return None
+    chosen = choose_host(hosts, requirement, policy)
+    if chosen is None:
+        if len(hosts) >= max_hosts:
+            return None
+        chosen = Host(spec=host_spec, name=f"host-{len(hosts):05d}")
+        hosts.append(chosen)
+    return chosen
+
+
 def place_sandboxes(
     requirements: Sequence[SandboxRequirement],
     host_spec: Optional[HostSpec] = None,
@@ -114,20 +171,9 @@ def place_sandboxes(
     hosts: List[Host] = []
     unplaced: List[SandboxRequirement] = []
     for requirement in requirements:
-        if requirement.vcpus > host_spec.vcpus or requirement.memory_gb > host_spec.memory_gb:
+        chosen = choose_or_open_host(hosts, requirement, policy, host_spec, max_hosts)
+        if chosen is None:
             unplaced.append(requirement)
             continue
-        candidates = [h for h in hosts if h.fits(requirement.vcpus, requirement.memory_gb)]
-        if candidates:
-            if policy is PlacementPolicy.FIRST_FIT:
-                chosen = candidates[0]
-            else:
-                chosen = min(candidates, key=lambda h: _score(h, requirement, policy))
-        else:
-            if len(hosts) >= max_hosts:
-                unplaced.append(requirement)
-                continue
-            chosen = Host(spec=host_spec)
-            hosts.append(chosen)
         chosen.place(requirement.sandbox_id, requirement.vcpus, requirement.memory_gb)
     return PlacementResult(hosts=hosts, unplaced=unplaced)

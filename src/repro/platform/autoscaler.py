@@ -14,7 +14,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Tuple
 
-__all__ = ["AutoscalerConfig", "Autoscaler"]
+from repro.sim.kernel import PeriodicProcess
+
+__all__ = ["AutoscalerConfig", "Autoscaler", "AutoscalerProcess"]
 
 
 @dataclass(frozen=True)
@@ -135,3 +137,17 @@ class Autoscaler:
         else:
             self._last_scale_down_candidate = 0.0
         return desired_count
+
+
+class AutoscalerProcess(PeriodicProcess):
+    """The autoscaler as a polled kernel process.
+
+    Instead of the simulator pre-scheduling one heap event per evaluation tick
+    over the whole horizon, the process computes its own next evaluation time
+    (a fixed evaluation-interval grid, see
+    :class:`repro.sim.kernel.PeriodicProcess`) and the kernel interleaves it
+    with heap events.  The callback is called once per tick with the
+    simulation time; the owning simulator supplies it and reads its own pool
+    state there.  The same instance works in a standalone simulation and in
+    an open-ended cluster co-simulation.
+    """

@@ -9,12 +9,19 @@ pieces defined elsewhere in the package:
 - the serving-architecture model adds per-request overhead,
 - the keep-alive policy decides how long idle sandboxes survive,
 - the autoscaler (when configured) grows and shrinks the instance pool from
-  window-averaged metrics, reproducing the scaling lag of Figure 6.
+  window-averaged metrics, reproducing the scaling lag of Figure 6.  It runs
+  as a *polled kernel process* (it computes its own next evaluation tick)
+  rather than being called inline, so it co-simulates cleanly when several
+  functions share one kernel.
 
 Event ordering and the clock live in :class:`repro.sim.kernel.SimulationKernel`;
 instrumentation flows over a :class:`repro.sim.events.EventBus`, so metrics
 collection is just the default subscriber -- tracers and custom probes can
-subscribe to the same bus without touching the simulator.
+subscribe to the same bus without touching the simulator.  The simulator
+publishes the full typed sandbox lifecycle (cold start, busy, idle,
+keep-alive expiry, eviction), which is what the fleet placement layer
+(:mod:`repro.cluster.fleet`) and the live cost meter
+(:mod:`repro.billing.meter`) consume.
 """
 
 from __future__ import annotations
@@ -26,14 +33,17 @@ import numpy as np
 
 from repro.platform.config import FunctionConfig, PlatformConfig
 from repro.platform.metrics import RequestOutcome, SimulationMetrics
-from repro.platform.autoscaler import Autoscaler
+from repro.platform.autoscaler import Autoscaler, AutoscalerProcess
 from repro.platform.sandbox import ActiveRequest, Sandbox, SandboxState
 from repro.sim.events import (
     EventBus,
     InstanceCountChanged,
+    KeepAliveExpired,
     RequestCompleted,
-    SandboxProvisioned,
-    SandboxTerminated,
+    SandboxBusy,
+    SandboxColdStart,
+    SandboxEvicted,
+    SandboxIdle,
     SimEvent,
 )
 from repro.sim.kernel import Event, SimulationKernel
@@ -42,12 +52,22 @@ __all__ = ["PlatformSimulator", "RequestOutcome", "SimulationMetrics"]
 
 _EPS = 1e-9
 
-#: Event kinds the simulator schedules on the kernel.
-_EVENT_KINDS = ("arrival", "sandbox_ready", "completion", "keepalive_expire", "autoscale")
+#: Event kinds the simulator schedules on the kernel; the autoscaler is a
+#: polled kernel process (:class:`repro.platform.autoscaler.AutoscalerProcess`)
+#: rather than a pre-scheduled heap event.
+_EVENT_KINDS = ("arrival", "sandbox_ready", "completion", "keepalive_expire")
 
 
 class PlatformSimulator:
-    """Simulates one function deployed on one platform configuration."""
+    """Simulates one function deployed on one platform configuration.
+
+    By default each simulator owns a private :class:`SimulationKernel`.  Pass
+    a shared ``kernel`` (plus a fleet-unique ``name``) to co-simulate several
+    functions in one event loop -- the cluster co-simulation of
+    :mod:`repro.cluster.cosim`.  The ``name`` namespaces the simulator's event
+    kinds, sandbox names and request ids so co-simulated simulators never
+    collide on the shared kernel or bus.
+    """
 
     def __init__(
         self,
@@ -55,15 +75,21 @@ class PlatformSimulator:
         function: FunctionConfig,
         seed: int = 0,
         bus: Optional[EventBus] = None,
+        kernel: Optional[SimulationKernel] = None,
+        name: str = "",
     ) -> None:
         self.platform = platform
         self.function = function
+        if kernel is not None and not name:
+            raise ValueError("co-simulating on a shared kernel requires a unique simulator name")
+        self.name = name
+        self._id_prefix = f"{name}/" if name else ""
         self._rng = np.random.default_rng(seed)
         self._request_counter = itertools.count()
         self._sandbox_counter = itertools.count()
-        self._kernel = SimulationKernel()
+        self._kernel = kernel if kernel is not None else SimulationKernel()
         for kind in _EVENT_KINDS:
-            self._kernel.on(kind, getattr(self, f"_handle_{kind}"))
+            self._kernel.on(self._kind(kind), getattr(self, f"_handle_{kind}"))
         self._sandboxes: Dict[str, Sandbox] = {}
         self._queue: List[Tuple[float, str]] = []  # (arrival time, request id) FIFO
         self._pending_cold: Dict[str, List[Tuple[float, str]]] = {}  # sandbox -> waiting requests
@@ -86,6 +112,9 @@ class PlatformSimulator:
                 max_concurrency=platform.concurrency.max_concurrency,
                 alloc_vcpus=function.alloc_vcpus,
             )
+            self._kernel.add_process(
+                AutoscalerProcess(platform.autoscaler.evaluation_interval_s, self._autoscale_tick)
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -96,20 +125,27 @@ class PlatformSimulator:
         """The underlying event kernel (exposed for co-simulation and tests)."""
         return self._kernel
 
-    def run(self, arrivals: Sequence[float], horizon_s: Optional[float] = None) -> SimulationMetrics:
-        """Simulate the given request arrival times; returns collected metrics."""
+    def _kind(self, kind: str) -> str:
+        """Namespace an event kind with the simulator name (shared-kernel safety)."""
+        return f"{self.name}:{kind}" if self.name else kind
+
+    def schedule_arrivals(self, arrivals: Sequence[float], horizon_s: Optional[float] = None) -> float:
+        """Schedule request arrivals on the kernel; returns the run horizon.
+
+        Does not execute anything -- a co-simulation host schedules arrivals
+        for every simulator sharing the kernel and then runs the kernel once.
+        """
         arrivals = sorted(arrivals)
         if horizon_s is None:
             tail = self.function.service_time_s * 50 + 10.0
             horizon_s = (arrivals[-1] if arrivals else 0.0) + tail
         for arrival in arrivals:
-            self._kernel.schedule(arrival, "arrival")
-        if self._autoscaler is not None:
-            interval = self.platform.autoscaler.evaluation_interval_s
-            t = 0.0
-            while t <= horizon_s:
-                self._kernel.schedule(t, "autoscale")
-                t += interval
+            self._kernel.schedule(arrival, self._kind("arrival"))
+        return horizon_s
+
+    def run(self, arrivals: Sequence[float], horizon_s: Optional[float] = None) -> SimulationMetrics:
+        """Simulate the given request arrival times; returns collected metrics."""
+        horizon_s = self.schedule_arrivals(arrivals, horizon_s)
         self._kernel.run(until=horizon_s + _EPS)
         return self.metrics
 
@@ -141,7 +177,7 @@ class PlatformSimulator:
     # ------------------------------------------------------------------
 
     def _handle_arrival(self, event: Event) -> None:
-        request_id = f"req-{next(self._request_counter):07d}"
+        request_id = f"{self._id_prefix}req-{next(self._request_counter):07d}"
         self._route(request_id, arrival_s=self._now)
 
     def _route(self, request_id: str, arrival_s: float) -> None:
@@ -177,11 +213,12 @@ class PlatformSimulator:
 
     def _create_sandbox(self) -> Sandbox:
         init_duration = self.platform.placement_delay_s + self.function.init_duration_s
-        # Per-simulator, zero-padded names: runs are reproducible regardless of
-        # how many sandboxes other simulations in this process created, and
+        # Per-simulator, zero-padded names (prefixed with the simulator name in
+        # a co-simulation): runs are reproducible regardless of how many
+        # sandboxes other simulations in this process created, and
         # lexicographic tie-breaks in `_pick_sandbox` match creation order.
         sandbox = Sandbox(
-            name=f"sandbox-{next(self._sandbox_counter):06d}",
+            name=f"{self._id_prefix}sandbox-{next(self._sandbox_counter):06d}",
             function_name=self.function.name,
             alloc_vcpus=self.function.alloc_vcpus,
             alloc_memory_gb=self.function.alloc_memory_gb,
@@ -192,8 +229,17 @@ class PlatformSimulator:
         )
         self._sandboxes[sandbox.name] = sandbox
         self._completion_version[sandbox.name] = 0
-        self._kernel.schedule_in(init_duration, "sandbox_ready", {"sandbox": sandbox.name})
-        self.bus.publish(SandboxProvisioned(self._now, sandbox.name))
+        self._kernel.schedule_in(init_duration, self._kind("sandbox_ready"), {"sandbox": sandbox.name})
+        self.bus.publish(
+            SandboxColdStart(
+                self._now,
+                sandbox.name,
+                function_name=self.function.name,
+                alloc_vcpus=self.function.alloc_vcpus,
+                alloc_memory_gb=self.function.alloc_memory_gb,
+                init_duration_s=init_duration,
+            )
+        )
         self._publish_instance_count()
         return sandbox
 
@@ -221,7 +267,10 @@ class PlatformSimulator:
             cold_start=cold,
             init_wait_s=(self._now - arrival_s) if cold else 0.0,
         )
+        was_busy = sandbox.state is SandboxState.BUSY
         sandbox.admit(request, self._now)
+        if not was_busy:
+            self.bus.publish(SandboxBusy(self._now, sandbox.name, sandbox.concurrency))
         self._schedule_completion_check(sandbox)
 
     # ------------------------------------------------------------------
@@ -235,7 +284,9 @@ class PlatformSimulator:
         if next_time is None:
             return
         self._kernel.schedule(
-            max(next_time, self._now), "completion", {"sandbox": sandbox.name, "version": version}
+            max(next_time, self._now),
+            self._kind("completion"),
+            {"sandbox": sandbox.name, "version": version},
         )
 
     def _handle_completion(self, event: Event) -> None:
@@ -288,12 +339,15 @@ class PlatformSimulator:
     def _maybe_schedule_keepalive(self, sandbox: Sandbox) -> None:
         if sandbox.state is not SandboxState.IDLE:
             return
+        self.bus.publish(SandboxIdle(self._now, sandbox.name))
         keep_alive = self.platform.keep_alive.sample_keep_alive_s(
             self._rng, scaled_out_instances=self._instance_count()
         )
         deadline = self._now + keep_alive
         sandbox.keep_alive_deadline_s = deadline
-        self._kernel.schedule(deadline, "keepalive_expire", {"sandbox": sandbox.name, "deadline": deadline})
+        self._kernel.schedule(
+            deadline, self._kind("keepalive_expire"), {"sandbox": sandbox.name, "deadline": deadline}
+        )
 
     def _handle_keepalive_expire(self, event: Event) -> None:
         sandbox = self._sandboxes.get(event.data["sandbox"])
@@ -302,14 +356,15 @@ class PlatformSimulator:
         if abs(sandbox.keep_alive_deadline_s - event.data["deadline"]) > 1e-6:
             return  # the sandbox served another request since this expiry was scheduled
         sandbox.terminate(self._now)
-        self.bus.publish(SandboxTerminated(self._now, sandbox.name))
+        self.bus.publish(KeepAliveExpired(self._now, sandbox.name))
+        self.bus.publish(SandboxEvicted(self._now, sandbox.name, reason="keepalive_expire"))
         self._publish_instance_count()
 
     # ------------------------------------------------------------------
-    # Autoscaling
+    # Autoscaling (a polled kernel process, registered in __init__)
     # ------------------------------------------------------------------
 
-    def _handle_autoscale(self, event: Event) -> None:
+    def _autoscale_tick(self, now_s: float) -> None:
         if self._autoscaler is None:
             return
         alive = self._alive_sandboxes()
@@ -327,6 +382,6 @@ class PlatformSimulator:
             removable = [s for s in alive if s.state is SandboxState.IDLE]
             for sandbox in removable[: current - desired]:
                 sandbox.terminate(self._now)
-                self.bus.publish(SandboxTerminated(self._now, sandbox.name))
+                self.bus.publish(SandboxEvicted(self._now, sandbox.name, reason="scale_down"))
         self._publish_instance_count()
         self._drain_queue()

@@ -29,12 +29,17 @@ scenario runners.
 from repro.sim.events import (
     EventBus,
     InstanceCountChanged,
+    KeepAliveExpired,
     RequestCompleted,
+    SandboxBusy,
+    SandboxColdStart,
+    SandboxEvicted,
+    SandboxIdle,
     SandboxProvisioned,
     SandboxTerminated,
     SimEvent,
 )
-from repro.sim.kernel import Event, SimulationKernel, SimProcess
+from repro.sim.kernel import Event, PeriodicProcess, SimulationKernel, SimProcess
 from repro.sim.results import ResultStore
 from repro.sim.rng import RngStreams, derive_seed, named_generator
 from repro.sim.sweep import Scenario, build_grid, run_scenario, run_sweep
@@ -43,9 +48,15 @@ __all__ = [
     "Event",
     "EventBus",
     "InstanceCountChanged",
+    "KeepAliveExpired",
+    "PeriodicProcess",
     "RequestCompleted",
     "ResultStore",
     "RngStreams",
+    "SandboxBusy",
+    "SandboxColdStart",
+    "SandboxEvicted",
+    "SandboxIdle",
     "SandboxProvisioned",
     "SandboxTerminated",
     "Scenario",

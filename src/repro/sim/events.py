@@ -24,7 +24,12 @@ from typing import Any, Callable, Dict, List, Type
 __all__ = [
     "EventBus",
     "InstanceCountChanged",
+    "KeepAliveExpired",
     "RequestCompleted",
+    "SandboxBusy",
+    "SandboxColdStart",
+    "SandboxEvicted",
+    "SandboxIdle",
     "SandboxProvisioned",
     "SandboxTerminated",
     "SimEvent",
@@ -53,10 +58,58 @@ class SandboxProvisioned(SimEvent):
 
 
 @dataclass(frozen=True)
+class SandboxColdStart(SandboxProvisioned):
+    """A sandbox cold start, with the resource demand it places on the fleet.
+
+    Subclasses :class:`SandboxProvisioned` so existing subscribers keep
+    working; fleet placement and cost metering need the function identity,
+    the resource allocation, and the expected initialisation duration.
+    """
+
+    function_name: str = ""
+    alloc_vcpus: float = 0.0
+    alloc_memory_gb: float = 0.0
+    init_duration_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SandboxBusy(SimEvent):
+    """An idle (or freshly initialised) sandbox started serving requests."""
+
+    sandbox_name: str
+    concurrency: int = 1
+
+
+@dataclass(frozen=True)
+class SandboxIdle(SimEvent):
+    """A sandbox drained its last request and entered the keep-alive phase."""
+
+    sandbox_name: str
+
+
+@dataclass(frozen=True)
+class KeepAliveExpired(SimEvent):
+    """A sandbox's keep-alive window elapsed without a new request."""
+
+    sandbox_name: str
+
+
+@dataclass(frozen=True)
 class SandboxTerminated(SimEvent):
     """A sandbox was torn down (keep-alive expiry or scale-down)."""
 
     sandbox_name: str
+
+
+@dataclass(frozen=True)
+class SandboxEvicted(SandboxTerminated):
+    """A sandbox was evicted, with the reason (``keepalive_expire``, ``scale_down``).
+
+    Subclasses :class:`SandboxTerminated` so subscribers that only care about
+    teardown keep working.
+    """
+
+    reason: str = ""
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
-__all__ = ["Event", "SimProcess", "SimulationKernel"]
+__all__ = ["Event", "PeriodicProcess", "SimProcess", "SimulationKernel"]
 
 
 class Event:
@@ -59,6 +59,37 @@ class SimProcess(Protocol):
 
     def handle(self, now: float) -> None:
         ...
+
+
+class PeriodicProcess:
+    """A polled process that fires a callback on a fixed time grid.
+
+    Shared by components that need a periodic tick (the platform autoscaler's
+    evaluation interval, the fleet's utilisation sampler): ``next_event_time``
+    is the next grid point, ``handle`` invokes the callback and advances on
+    the grid (not ``now + interval``), so tick times stay exact multiples of
+    the interval regardless of clock jitter.
+
+    Periodic processes never run out of ticks; they are marked ``periodic``
+    so :meth:`SimulationKernel.run` without an ``until`` bound still
+    terminates once the heap drains and only periodic ticks remain.
+    """
+
+    periodic = True
+
+    def __init__(self, interval_s: float, callback: Callable[[float], None], start_s: float = 0.0) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = float(interval_s)
+        self._callback = callback
+        self._next_tick_s = float(start_s)
+
+    def next_event_time(self, now: float) -> Optional[float]:
+        return self._next_tick_s
+
+    def handle(self, now: float) -> None:
+        self._callback(now)
+        self._next_tick_s += self.interval_s
 
 
 class SimulationKernel:
@@ -191,6 +222,20 @@ class SimulationKernel:
         """Stop the current ``run`` after the in-flight event (for co-simulation)."""
         self._paused = True
 
+    def _only_periodic_pending(self) -> bool:
+        """True when the heap is empty and every pending process tick is periodic.
+
+        An unbounded ``run()`` must still terminate for simulators that carry
+        periodic processes (autoscaler ticks, fleet samplers) -- those tick
+        forever by design, so once nothing else is pending there is no more
+        work to do.
+        """
+        self._prune()
+        if self._heap:
+            return False
+        pending = [p for p in self._processes if p.next_event_time(self._now) is not None]
+        return bool(pending) and all(getattr(p, "periodic", False) for p in pending)
+
     def run(
         self,
         until: Optional[float] = None,
@@ -203,6 +248,9 @@ class SimulationKernel:
         ``until``, ``max_events`` events have been executed, ``stop()``
         returns true after an event, or :meth:`pause` was called from a
         handler.  Events beyond ``until`` stay queued for a later ``run``.
+        Without an ``until`` bound, the run also stops once only *periodic*
+        processes (see :class:`PeriodicProcess`) have pending ticks -- they
+        never drain on their own.
         """
         self._paused = False
         executed = 0
@@ -211,6 +259,8 @@ class SimulationKernel:
                 break
             next_time = self.peek()
             if next_time is None or (until is not None and next_time > until):
+                break
+            if until is None and self._only_periodic_pending():
                 break
             self.step()
             executed += 1

@@ -117,3 +117,23 @@ class ResultStore:
             for row in self._rows:
                 writer.writerow(row)
         return len(self._rows)
+
+    @classmethod
+    def from_csv(cls, path: str) -> "ResultStore":
+        """Read a store back from a :meth:`to_csv` file.
+
+        Values parse back to ``int``/``float`` where they look numeric and
+        stay strings otherwise (CSV does not preserve types); column order
+        follows the file header.
+        """
+        def _parse(value: str) -> object:
+            for kind in (int, float):
+                try:
+                    return kind(value)
+                except ValueError:
+                    continue
+            return value
+
+        with open(path, "r", newline="") as handle:
+            reader = csv.DictReader(handle)
+            return cls({key: _parse(value) for key, value in row.items()} for row in reader)

@@ -24,6 +24,7 @@ class TestRegistry:
             "figure11",
             "figure12",
             "exploit",
+            "cluster_costs",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -7,6 +7,7 @@ from repro.cluster.host import Host, HostSpec
 from repro.cluster.placement import (
     PlacementPolicy,
     SandboxRequirement,
+    choose_host,
     place_sandboxes,
 )
 from repro.platform.presets import get_platform_preset
@@ -83,6 +84,74 @@ class TestPlacement:
     def test_invalid_requirement(self):
         with pytest.raises(ValueError):
             SandboxRequirement("bad", 0.0, 1.0)
+
+
+class TestPlacementEdgeCases:
+    def test_zero_capacity_host_spec_rejected(self):
+        """Zero-capacity hosts cannot exist: the spec validates at construction."""
+        with pytest.raises(ValueError):
+            HostSpec(vcpus=0.0, memory_gb=16.0)
+        with pytest.raises(ValueError):
+            HostSpec(vcpus=4.0, memory_gb=0.0)
+
+    def test_full_host_never_chosen(self):
+        """A host with zero free capacity is skipped by every policy."""
+        host = Host(spec=HostSpec(vcpus=2, memory_gb=4))
+        host.place("filler", 2.0, 4.0)
+        requirement = SandboxRequirement("s", 1.0, 1.0)
+        for policy in PlacementPolicy:
+            assert choose_host([host], requirement, policy) is None
+
+    def test_max_hosts_zero_reports_everything_unplaced(self):
+        requirements = [SandboxRequirement(f"s{i}", 1.0, 1.0) for i in range(3)]
+        result = place_sandboxes(requirements, host_spec=HostSpec(4, 16), max_hosts=0)
+        assert result.num_hosts == 0
+        assert len(result.unplaced) == 3
+
+    def test_oversized_on_either_axis_unplaced(self):
+        spec = HostSpec(vcpus=4, memory_gb=16)
+        too_much_cpu = place_sandboxes([SandboxRequirement("c", 8.0, 1.0)], host_spec=spec)
+        too_much_memory = place_sandboxes([SandboxRequirement("m", 1.0, 32.0)], host_spec=spec)
+        assert len(too_much_cpu.unplaced) == 1 and too_much_cpu.num_hosts == 0
+        assert len(too_much_memory.unplaced) == 1 and too_much_memory.num_hosts == 0
+
+    def test_tie_breaking_deterministic_across_policies(self):
+        """Equal-score hosts: every policy picks the earliest-opened one."""
+        requirement = SandboxRequirement("s", 1.0, 1.0)
+        for policy in PlacementPolicy:
+            hosts = [Host(spec=HostSpec(4, 16), name=f"h{i}") for i in range(3)]
+            chosen = choose_host(hosts, requirement, policy)
+            assert chosen is hosts[0], policy
+
+    def test_placement_run_to_run_deterministic(self):
+        requirements = [
+            SandboxRequirement(f"s{i}", float(1 + i % 3), float(2 + i % 5)) for i in range(50)
+        ]
+
+        def snapshot():
+            result = place_sandboxes(requirements, host_spec=HostSpec(8, 32))
+            return [(h.name, tuple(h.sandboxes)) for h in result.hosts]
+
+        assert snapshot() == snapshot()
+
+    def test_host_names_follow_open_order(self):
+        result = place_sandboxes(
+            [SandboxRequirement(f"s{i}", 4.0, 4.0) for i in range(3)], host_spec=HostSpec(4, 16)
+        )
+        assert [h.name for h in result.hosts] == ["host-00000", "host-00001", "host-00002"]
+
+    def test_host_remove_releases_capacity(self):
+        host = Host(spec=HostSpec(vcpus=4, memory_gb=16))
+        host.place("a", 2.0, 8.0)
+        host.remove("a", 2.0, 8.0)
+        assert host.free_vcpus == pytest.approx(4.0)
+        assert host.free_memory_gb == pytest.approx(16.0)
+        assert host.sandboxes == []
+
+    def test_host_remove_unknown_sandbox_raises(self):
+        host = Host(spec=HostSpec(vcpus=4, memory_gb=16))
+        with pytest.raises(KeyError):
+            host.remove("ghost", 1.0, 1.0)
 
 
 class TestDensityStudies:

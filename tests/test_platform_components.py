@@ -208,6 +208,100 @@ class TestAutoscaler:
             AutoscalerConfig(min_instances=5, max_instances=2)
 
 
+class TestAutoscalerScaleDownHysteresis:
+    """Scale-in is damped: it fires only after the delay persists, and demand resets it."""
+
+    def _idle_scaler(self, delay_s=60.0):
+        scaler = Autoscaler(
+            AutoscalerConfig(scale_down_delay_s=delay_s, metric_window_s=60.0),
+            max_concurrency=80,
+            alloc_vcpus=1.0,
+        )
+        return scaler
+
+    def test_scale_down_fires_after_delay(self):
+        scaler = self._idle_scaler(delay_s=60.0)
+        for t in range(0, 120, 2):
+            scaler.observe(float(t), active_requests=0, busy_vcpus=0.0, instances=5)
+            desired = scaler.desired_instances(float(t), 5)
+            if t < 60.0:
+                assert desired == 5, f"scaled down too early at t={t}"
+        # Past the delay the shrink goes through (to min_instances = 0).
+        assert scaler.desired_instances(120.0, 5) < 5
+
+    def test_demand_resets_the_scale_down_clock(self):
+        scaler = Autoscaler(
+            AutoscalerConfig(scale_down_delay_s=20.0, metric_window_s=10.0),
+            max_concurrency=80,
+            alloc_vcpus=1.0,
+        )
+        # Idle phase: the shrink candidate starts its clock (~t=2).
+        for t in range(0, 10, 2):
+            scaler.observe(float(t), active_requests=0, busy_vcpus=0.0, instances=5)
+            assert scaler.desired_instances(float(t), 5) == 5
+        # A demand burst cancels the pending shrink.
+        for t in range(10, 16, 2):
+            scaler.observe(float(t), active_requests=2000, busy_vcpus=5.0, instances=5)
+            assert scaler.desired_instances(float(t), 5) >= 5
+        # Renewed idleness must wait the full delay again: at t=30 more than
+        # delay_s has passed since the *first* candidate (t~2), so without the
+        # reset the scaler would already have shrunk.
+        for t in range(16, 32, 2):
+            scaler.observe(float(t), active_requests=0, busy_vcpus=0.0, instances=5)
+            scaler.desired_instances(float(t), 5)
+        scaler.observe(32.0, active_requests=0, busy_vcpus=0.0, instances=5)
+        assert scaler.desired_instances(32.0, 5) == 5
+        # Once the new clock runs out, the shrink finally goes through.
+        for t in range(34, 50, 2):
+            scaler.observe(float(t), active_requests=0, busy_vcpus=0.0, instances=5)
+            scaler.desired_instances(float(t), 5)
+        assert scaler.desired_instances(50.0, 5) < 5
+
+    def test_scale_down_bounded_by_min_instances(self):
+        scaler = Autoscaler(
+            AutoscalerConfig(scale_down_delay_s=10.0, min_instances=2),
+            max_concurrency=80,
+            alloc_vcpus=1.0,
+        )
+        for t in range(0, 40, 2):
+            scaler.observe(float(t), active_requests=0, busy_vcpus=0.0, instances=5)
+            scaler.desired_instances(float(t), 5)
+        assert scaler.desired_instances(40.0, 5) == 2
+
+
+class TestAutoscalerProcess:
+    def test_polled_ticks_on_fixed_grid(self):
+        from repro.platform.autoscaler import AutoscalerProcess
+        from repro.sim.kernel import SimulationKernel
+
+        ticks = []
+        process = AutoscalerProcess(2.0, ticks.append)
+        kernel = SimulationKernel()
+        kernel.add_process(process)
+        kernel.run(until=10.0)
+        assert ticks == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_heap_events_win_exact_time_ties(self):
+        """Arrivals scheduled at a tick time run before the autoscaler evaluates."""
+        from repro.platform.autoscaler import AutoscalerProcess
+        from repro.sim.kernel import SimulationKernel
+
+        order = []
+        kernel = SimulationKernel()
+        kernel.on("arrival", lambda event: order.append("arrival"))
+        kernel.add_process(AutoscalerProcess(2.0, lambda now: order.append("autoscale")))
+        kernel.schedule(0.0, "arrival")
+        kernel.schedule(2.0, "arrival")
+        kernel.run(until=2.0)
+        assert order == ["arrival", "autoscale", "arrival", "autoscale"]
+
+    def test_invalid_interval_rejected(self):
+        from repro.platform.autoscaler import AutoscalerProcess
+
+        with pytest.raises(ValueError):
+            AutoscalerProcess(0.0, lambda now: None)
+
+
 class TestSandbox:
     def _sandbox(self, workers=2, vcpus=1.0):
         return Sandbox(

@@ -203,3 +203,43 @@ class TestPolledProcesses:
         kernel = SimulationKernel()
         kernel.add_process(_CountdownProcess([0.75]))
         assert kernel.peek() == 0.75
+
+
+class TestPeriodicProcess:
+    def test_fixed_grid_ticks(self):
+        from repro.sim.kernel import PeriodicProcess, SimulationKernel
+
+        ticks = []
+        kernel = SimulationKernel()
+        kernel.add_process(PeriodicProcess(3.0, ticks.append))
+        kernel.run(until=9.0)
+        assert ticks == [0.0, 3.0, 6.0, 9.0]
+
+    def test_unbounded_run_terminates_when_only_periodic_ticks_remain(self):
+        from repro.sim.kernel import PeriodicProcess, SimulationKernel
+
+        ticks = []
+        kernel = SimulationKernel()
+        kernel.add_process(PeriodicProcess(1.0, ticks.append))
+        kernel.on("work", lambda event: None)
+        kernel.schedule(2.5, "work")
+        executed = kernel.run()  # no until bound: must not spin forever
+        # Periodic ticks interleave while heap work remains, then the run stops.
+        assert executed >= 1
+        assert kernel.now <= 2.5
+        assert all(t <= 2.5 for t in ticks)
+
+    def test_unbounded_run_with_only_periodic_process_executes_nothing(self):
+        from repro.sim.kernel import PeriodicProcess, SimulationKernel
+
+        kernel = SimulationKernel()
+        kernel.add_process(PeriodicProcess(1.0, lambda now: None))
+        assert kernel.run() == 0
+
+    def test_invalid_interval(self):
+        import pytest
+
+        from repro.sim.kernel import PeriodicProcess
+
+        with pytest.raises(ValueError):
+            PeriodicProcess(0.0, lambda now: None)

@@ -245,3 +245,126 @@ class TestSweepCli:
         assert main(["sweep", "--rps", "not-a-number"]) == 2
         assert main(["sweep", "--platforms", ""]) == 2
         assert main(["sweep", "--platforms", "no_such_platform"]) == 2
+
+
+class TestTraceReplayRunner:
+    """The trace-driven sweep adapter: scenarios driven by generated traces."""
+
+    PARAMS = {
+        "platform": "aws_lambda_like",
+        "num_requests": 400,
+        "num_functions": 10,
+        "top_functions": 2,
+    }
+
+    def test_replays_busiest_functions(self):
+        from repro.sim.sweep import trace_replay_point
+
+        rows = trace_replay_point(self.PARAMS, seed=7)
+        # The generator's popularity distribution is heavy-tailed, so a small
+        # shard may concentrate traffic on fewer than top_functions functions.
+        assert 1 <= len(rows) <= 2
+        for row in rows:
+            assert row["num_requests"] > 0
+            assert row["trace_mean_duration_ms"] > 0
+            assert 0.0 <= row["cold_start_rate"] <= 1.0
+
+    def test_deterministic_and_seed_sensitive(self):
+        from repro.sim.sweep import trace_replay_point
+
+        assert trace_replay_point(self.PARAMS, seed=7) == trace_replay_point(self.PARAMS, seed=7)
+        different = trace_replay_point(self.PARAMS, seed=8)
+        assert trace_replay_point(self.PARAMS, seed=7) != different
+
+    def test_billing_adds_live_metered_cost(self):
+        from repro.sim.sweep import trace_replay_point
+
+        params = dict(self.PARAMS, billing="aws_lambda")
+        rows = trace_replay_point(params, seed=7)
+        assert all(row["cost_usd"] > 0 for row in rows)
+        assert all(row["billing_platform"] == "aws_lambda" for row in rows)
+
+    def test_instance_billed_model_accounts_open_lifespans(self):
+        """finalize() closes keep-alive sandboxes, so instance billing is non-zero."""
+        from repro.sim.sweep import trace_replay_point
+
+        params = dict(self.PARAMS, billing="gcp_run_instance")
+        rows = trace_replay_point(params, seed=7)
+        assert all(row["cost_usd"] > 0 for row in rows)
+
+    def test_routes_through_grid_and_parallel_sweep(self):
+        from repro.sim.sweep import build_grid, run_sweep
+
+        grid = build_grid(
+            runner="repro.sim.sweep:trace_replay_point",
+            axes={"platform": ["aws_lambda_like", "gcp_run_like"]},
+            common={"num_requests": 400, "num_functions": 10, "top_functions": 2},
+            base_seed=3,
+        )
+        sequential = run_sweep(grid)
+        parallel = run_sweep(grid, processes=2)
+        assert sequential == parallel
+        assert len(sequential) >= 2  # at least one replayed function per platform
+        assert set(row["platform"] for row in sequential) == {"aws_lambda_like", "gcp_run_like"}
+
+    def test_invalid_time_scale(self):
+        from repro.sim.sweep import trace_replay_point
+
+        with pytest.raises(ValueError):
+            trace_replay_point(dict(self.PARAMS, time_scale=0.0), seed=7)
+
+
+class TestResultStoreCsvRoundTrip:
+    def test_from_csv_round_trips_rows(self, tmp_path):
+        store = ResultStore(
+            [
+                {"platform": "aws", "rps": 1.0, "count": 3, "label": "x"},
+                {"platform": "gcp", "rps": 2.5, "count": 4, "label": "y"},
+            ]
+        )
+        path = tmp_path / "rows.csv"
+        store.to_csv(str(path))
+        loaded = ResultStore.from_csv(str(path))
+        assert loaded.rows == store.rows
+        assert loaded.columns() == store.columns()
+
+    def test_from_csv_preserves_numeric_types(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        ResultStore([{"a": 1, "b": 1.5, "c": "text"}]).to_csv(str(path))
+        row = ResultStore.from_csv(str(path)).rows[0]
+        assert row["a"] == 1 and isinstance(row["a"], int)
+        assert row["b"] == 1.5 and isinstance(row["b"], float)
+        assert row["c"] == "text"
+
+
+class TestClusterCli:
+    def test_cli_cluster_writes_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "cluster.csv"
+        code = main(
+            [
+                "cluster",
+                "--fleet-sizes",
+                "3",
+                "--policies",
+                "best_fit",
+                "--keep-alive-s",
+                "60",
+                "--duration-s",
+                "10",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        header = output.read_text().splitlines()[0]
+        assert "placement_policy" in header and "cost_usd" in header
+
+    def test_cli_cluster_rejects_bad_input(self, capsys):
+        from repro.cli import main
+
+        assert main(["cluster", "--fleet-sizes", "not-a-number"]) == 2
+        assert main(["cluster", "--policies", ""]) == 2
+        assert main(["cluster", "--platform", "no_such_platform"]) == 2
