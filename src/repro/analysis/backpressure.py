@@ -1,0 +1,229 @@
+"""Backpressure experiment: admission-queue depth x placement policy x heterogeneity.
+
+PR 2's fleet dropped every sandbox it could not place.  This experiment
+closes that loop and measures what the paper's provider-side arguments
+(§2.2/§3.3) imply at the cluster boundary: when the fleet is capacity-bound,
+how much of the offered load can a bounded admission queue absorb, how long
+do queued sandboxes wait, and how do placement policy and host heterogeneity
+move both the provider's spend and the user's bill?
+
+Each grid point runs one full :class:`~repro.cluster.cosim.ClusterSimulator`
+co-simulation on a deliberately *small* fleet (so cold starts outrun
+capacity): every function's platform simulator, the multi-zone fleet with
+admission backpressure, the live cost meter, and the CPU-bandwidth scheduler
+engine (:class:`~repro.sched.engine.SchedulerSim`) all share one kernel.
+Every scenario's seed derives from the base seed and the grid point
+identity, so sequential and parallel sweeps produce identical rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.results import ResultStore
+from repro.sim.rng import named_generator
+from repro.sim.sweep import build_grid, run_sweep
+
+__all__ = ["backpressure_point", "backpressure_sweep", "DEFAULT_AXES"]
+
+#: Default sweep axes: admission-queue bound x placement policy x fleet
+#: heterogeneity ("homogeneous" = one zone, "two_tier" = a cheap economy
+#: zone next to a pricier premium zone the COST_FIT policy can arbitrage).
+DEFAULT_AXES: Dict[str, Sequence[object]] = {
+    "queue_depth": (0, 4, 32),
+    "placement_policy": ("best_fit", "cost_fit"),
+    "heterogeneity": ("homogeneous", "two_tier"),
+}
+
+
+def _zones(heterogeneity: str, host_vcpus: float, host_memory_gb: float, max_hosts: int):
+    """The fleet partitions of one grid point (imports deferred for workers)."""
+    from repro.cluster.fleet import ZoneConfig
+    from repro.cluster.host import HostSpec
+
+    if heterogeneity == "homogeneous":
+        return (
+            ZoneConfig(
+                name="default",
+                host_spec=HostSpec(vcpus=host_vcpus, memory_gb=host_memory_gb),
+                max_hosts=max_hosts,
+            ),
+        )
+    if heterogeneity == "two_tier":
+        # An economy tier priced at the default unit rates next to a premium
+        # tier with twice the shape at a 5x price: cost-aware placement
+        # should fill economy hosts first and strand less premium capacity.
+        # The two zones *split* the host cap (ceil to economy), so a two_tier
+        # point never opens more hosts than the homogeneous one.
+        economy = HostSpec(vcpus=host_vcpus, memory_gb=host_memory_gb, price_class="economy")
+        premium = HostSpec(
+            vcpus=host_vcpus * 2.0,
+            memory_gb=host_memory_gb * 2.0,
+            hourly_cost_usd=economy.hourly_cost_usd * 5.0,
+            price_class="premium",
+        )
+        split = (max_hosts + 1) // 2
+        return (
+            ZoneConfig(name="economy", host_spec=economy, max_hosts=split),
+            ZoneConfig(name="premium", host_spec=premium, max_hosts=max_hosts - split),
+        )
+    raise ValueError(f"unknown heterogeneity {heterogeneity!r}")
+
+
+def _scheduler(seed: int, horizon_s: float):
+    """A small deterministic CPU-bandwidth scheduling workload for the co-sim.
+
+    Task arrivals and compute demands draw from a named stream, so they
+    depend only on (seed, "sched") -- never on sweep ordering.
+    """
+    from repro.sched.engine import SchedulerSim
+    from repro.sched.presets import scheduler_config_for
+    from repro.sched.task import SimTask, TaskPhase
+
+    rng = named_generator(seed, "sched")
+    arrivals = sorted(float(t) for t in rng.uniform(0.0, horizon_s * 0.5, size=6))
+    demands = rng.uniform(0.05, 0.4, size=6)
+    tasks = [
+        SimTask(
+            phases=[TaskPhase.compute(float(demands[index]))],
+            arrival_s=arrivals[index],
+            name=f"sched-task-{index:02d}",
+        )
+        for index in range(6)
+    ]
+    config = scheduler_config_for("aws_lambda", vcpu_fraction=0.5, horizon_s=horizon_s)
+    return SchedulerSim(config, tasks)
+
+
+def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    """Sweep runner: one backpressure co-simulation grid point.
+
+    Expected params: ``queue_depth``, ``placement_policy`` (any
+    :class:`~repro.cluster.placement.PlacementPolicy` value, including
+    ``cost_fit``), ``heterogeneity`` (``homogeneous`` | ``two_tier``), and
+    optionally ``num_functions``, ``max_hosts`` (kept small so the fleet
+    saturates), ``queue_discipline`` (``fifo`` | ``smallest_first``),
+    ``platform`` (preset name), ``billing`` (billing-model name),
+    ``workload``, ``rps_per_function``, ``duration_s``, ``keep_alive_s``
+    (rescales the preset's keep-alive window; defaults to a third of the
+    duration so evictions drain the queue mid-run), ``arrival_process``,
+    ``host_vcpus``, ``host_memory_gb``, ``sample_interval_s``, and
+    ``with_scheduler`` (default true: co-simulate the sched engine).
+
+    Imports stay inside the function so the runner is resolvable by dotted
+    path in sweep worker processes without import cycles.
+    """
+    from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+    from repro.cluster.fleet import FleetConfig
+    from repro.cluster.placement import PlacementPolicy
+    from repro.platform.presets import get_platform_preset
+    from repro.traces.generator import HUAWEI_FLAVORS
+    from repro.workloads.functions import get_workload
+
+    queue_depth = int(params["queue_depth"])  # type: ignore[arg-type]
+    policy = PlacementPolicy(str(params["placement_policy"]))
+    heterogeneity = str(params["heterogeneity"])
+    num_functions = int(params.get("num_functions", 6))  # type: ignore[arg-type]
+    max_hosts = int(params.get("max_hosts", 2))  # type: ignore[arg-type]
+    discipline = str(params.get("queue_discipline", "fifo"))
+    platform = get_platform_preset(str(params.get("platform", "gcp_run_like")))
+    billing = str(params.get("billing", "gcp_run_request"))
+    workload = get_workload(str(params.get("workload", "pyaes")))
+    rps = float(params.get("rps_per_function", 2.0))  # type: ignore[arg-type]
+    duration_s = float(params.get("duration_s", 30.0))  # type: ignore[arg-type]
+    keep_alive_s = float(params.get("keep_alive_s", duration_s / 3.0))  # type: ignore[arg-type]
+    arrival_process = str(params.get("arrival_process", "constant"))
+    host_vcpus = float(params.get("host_vcpus", 2.0))  # type: ignore[arg-type]
+    host_memory_gb = float(params.get("host_memory_gb", 4.0))  # type: ignore[arg-type]
+    with_scheduler = bool(params.get("with_scheduler", True))
+
+    # Rescale the preset's keep-alive window so its max hits ``keep_alive_s``
+    # (preserving the min/max ratio).  A window shorter than the traffic
+    # duration is what makes backpressure *drain*: keep-alive expiries free
+    # capacity mid-run and queued sandboxes get retried onto it.
+    keep_alive = platform.keep_alive
+    factor = keep_alive_s / keep_alive.max_keep_alive_s
+    platform = dataclasses.replace(
+        platform,
+        keep_alive=dataclasses.replace(
+            keep_alive,
+            min_keep_alive_s=keep_alive.min_keep_alive_s * factor,
+            max_keep_alive_s=keep_alive_s,
+        ),
+    )
+
+    # Functions draw discrete Huawei-like flavors from a named stream, so the
+    # population depends only on (seed, "flavors") -- not on sweep ordering.
+    flavor_rng = named_generator(seed, "flavors")
+    flavor_indices = flavor_rng.integers(0, len(HUAWEI_FLAVORS), size=num_functions)
+    deployments: List[FunctionDeployment] = []
+    for index in range(num_functions):
+        vcpus, memory_gb = HUAWEI_FLAVORS[int(flavor_indices[index])]
+        function = workload.to_function_config(vcpus, memory_gb, init_duration_s=1.0)
+        function = dataclasses.replace(function, name=f"fn-{index:03d}")
+        deployments.append(
+            FunctionDeployment(
+                function=function,
+                platform=platform,
+                rps=rps,
+                duration_s=duration_s,
+                arrival_process=arrival_process,
+            )
+        )
+
+    simulator = ClusterSimulator(
+        deployments,
+        fleet_config=FleetConfig(
+            policy=policy,
+            zones=_zones(heterogeneity, host_vcpus, host_memory_gb, max_hosts),
+            queue_depth=queue_depth,
+            queue_discipline=discipline,
+            sample_interval_s=float(params.get("sample_interval_s", 10.0)),  # type: ignore[arg-type]
+        ),
+        billing_platform=billing,
+        scheduler=_scheduler(seed, duration_s) if with_scheduler else None,
+        seed=seed,
+    )
+    result = simulator.run()
+
+    row: Dict[str, object] = {
+        "queue_depth_bound": queue_depth,
+        "placement_policy": policy.value,
+        "heterogeneity": heterogeneity,
+        "queue_discipline": discipline,
+        "keep_alive_s": keep_alive_s,
+        "platform": platform.name,
+        "seed": seed,
+    }
+    summary = result.summary()
+    summary.pop("policy", None)
+    row.update(summary)
+    return row
+
+
+def backpressure_sweep(
+    axes: Optional[Mapping[str, Sequence[object]]] = None,
+    common: Optional[Mapping[str, object]] = None,
+    base_seed: int = 2026,
+    processes: Optional[int] = None,
+) -> ResultStore:
+    """Run the backpressure grid through the sweep orchestrator."""
+    scenarios = build_grid(
+        runner="repro.analysis.backpressure:backpressure_point",
+        axes=dict(axes or DEFAULT_AXES),
+        common=common,
+        base_seed=base_seed,
+    )
+    return run_sweep(scenarios, processes=processes)
+
+
+def backpressure_experiment() -> List[Dict[str, object]]:
+    """The registry entry point: a small default grid, sequential."""
+    axes = {
+        "queue_depth": (0, 16),
+        "placement_policy": ("best_fit", "cost_fit"),
+        "heterogeneity": ("homogeneous", "two_tier"),
+    }
+    store = backpressure_sweep(axes=axes, common={"duration_s": 20.0})
+    return store.rows

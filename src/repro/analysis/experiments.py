@@ -133,6 +133,12 @@ def _cluster_costs() -> List[Mapping[str, object]]:
     return cluster_costs_experiment()
 
 
+def _backpressure() -> List[Mapping[str, object]]:
+    from repro.analysis.backpressure import backpressure_experiment
+
+    return backpressure_experiment()
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     "table1": Experiment(
         "table1", "Billing models of major serverless platforms", "repro.billing.catalog", _table1
@@ -184,6 +190,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "Cluster co-simulation: fleet density and live-metered cost",
         "repro.analysis.cluster_costs",
         _cluster_costs,
+    ),
+    "backpressure": Experiment(
+        "backpressure",
+        "Admission backpressure: queue depth x placement policy x heterogeneity",
+        "repro.analysis.backpressure",
+        _backpressure,
     ),
 }
 

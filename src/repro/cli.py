@@ -8,6 +8,7 @@ Usage::
     repro-serverless-costs trace --requests 50000 --output trace.csv
     repro-serverless-costs sweep --processes 4 --output sweep.csv
     repro-serverless-costs cluster --fleet-sizes 8,16 --policies best_fit,worst_fit --output cluster.csv
+    repro-serverless-costs backpressure --queue-depths 0,8 --policies best_fit,cost_fit --output bp.csv
 """
 
 from __future__ import annotations
@@ -152,6 +153,79 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument(
         "--format", choices=("text", "markdown"), default="text", help="Output table format"
     )
+
+    backpressure_parser = subparsers.add_parser(
+        "backpressure",
+        help="Sweep admission backpressure: queue depth x placement policy x heterogeneity",
+        description=(
+            "Co-simulate capacity-bound fleets with admission backpressure: unplaceable "
+            "sandboxes enter a bounded queue and are retried on eviction instead of being "
+            "dropped.  Each grid point runs scheduler + platform + fleet + billing in one "
+            "kernel; seeds derive from --seed and each grid point's identity, so "
+            "sequential and parallel runs produce identical rows."
+        ),
+    )
+    backpressure_parser.add_argument(
+        "--queue-depths",
+        default="0,4,32",
+        help="Comma-separated admission-queue bounds (0 disables queueing)",
+    )
+    backpressure_parser.add_argument(
+        "--policies",
+        default="best_fit,cost_fit",
+        help="Comma-separated placement policies (first_fit, best_fit, worst_fit, cost_fit)",
+    )
+    backpressure_parser.add_argument(
+        "--heterogeneity",
+        default="homogeneous,two_tier",
+        help="Comma-separated fleet shapes (homogeneous, two_tier)",
+    )
+    backpressure_parser.add_argument(
+        "--queue-discipline",
+        choices=("fifo", "smallest_first"),
+        default="fifo",
+        help="Order in which queued sandboxes are retried on capacity release",
+    )
+    backpressure_parser.add_argument(
+        "--max-hosts", type=int, default=2, help="Host cap per fleet (small saturates the fleet)"
+    )
+    backpressure_parser.add_argument(
+        "--num-functions", type=int, default=6, help="Functions deployed into the cluster"
+    )
+    backpressure_parser.add_argument(
+        "--platform",
+        default="gcp_run_like",
+        help="Serving-platform preset every function runs on (see repro.platform.presets)",
+    )
+    backpressure_parser.add_argument(
+        "--billing",
+        default="gcp_run_request",
+        help="Billing model metered live (see repro.billing.catalog)",
+    )
+    backpressure_parser.add_argument(
+        "--rps", type=float, default=2.0, help="Request rate per function (requests/second)"
+    )
+    backpressure_parser.add_argument(
+        "--duration-s", type=float, default=30.0, help="Traffic duration per scenario (seconds)"
+    )
+    backpressure_parser.add_argument(
+        "--no-scheduler",
+        action="store_true",
+        help="Skip the co-simulated CPU-bandwidth scheduler engine",
+    )
+    backpressure_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="Worker processes (default: sequential; -1 uses every core)",
+    )
+    backpressure_parser.add_argument(
+        "--seed", type=int, default=2026, help="Base seed for per-run seeds"
+    )
+    backpressure_parser.add_argument("--output", help="Also write the result rows to this CSV path")
+    backpressure_parser.add_argument(
+        "--format", choices=("text", "markdown"), default="text", help="Output table format"
+    )
     return parser
 
 
@@ -283,6 +357,56 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_backpressure(args: "argparse.Namespace") -> int:
+    from repro.analysis.backpressure import backpressure_sweep
+
+    try:
+        queue_depths = [int(value) for value in args.queue_depths.split(",") if value.strip()]
+    except ValueError:
+        print(f"invalid --queue-depths list: {args.queue_depths!r}", file=sys.stderr)
+        return 2
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    heterogeneity = [name.strip() for name in args.heterogeneity.split(",") if name.strip()]
+    if not queue_depths or not policies or not heterogeneity:
+        print(
+            "backpressure needs at least one queue depth, policy, and heterogeneity value",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = backpressure_sweep(
+            axes={
+                "queue_depth": queue_depths,
+                "placement_policy": policies,
+                "heterogeneity": heterogeneity,
+            },
+            common={
+                "queue_discipline": args.queue_discipline,
+                "max_hosts": args.max_hosts,
+                "num_functions": args.num_functions,
+                "platform": args.platform,
+                "billing": args.billing,
+                "rps_per_function": args.rps,
+                "duration_s": args.duration_s,
+                "with_scheduler": not args.no_scheduler,
+            },
+            base_seed=args.seed,
+            processes=args.processes,
+        )
+    except (KeyError, ValueError) as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    print(f"== backpressure: {len(store)} scenarios (base seed {args.seed}) ==")
+    if args.format == "markdown":
+        print(to_markdown_table(store.rows))
+    else:
+        print(render_table(store.rows))
+    if args.output:
+        written = store.to_csv(args.output)
+        print(f"wrote {written} rows to {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -297,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "backpressure":
+        return _cmd_backpressure(args)
     parser.print_help()
     return 1
 

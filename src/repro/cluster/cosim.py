@@ -8,15 +8,24 @@ event loop:
   (their autoscalers are polled kernel processes, their event kinds are
   namespaced by function name);
 - a :class:`~repro.cluster.fleet.Fleet` subscribed to the shared bus, placing
-  every cold-started sandbox onto hosts under a FIRST/BEST/WORST-FIT policy
-  and releasing capacity on eviction -- the provider-side view;
+  every cold-started sandbox onto (possibly heterogeneous, multi-zone) hosts
+  under a placement policy, queueing unplaceable sandboxes when admission
+  backpressure is enabled, and releasing capacity on eviction -- the
+  provider-side view;
 - a :class:`~repro.billing.meter.CostMeter` per function bus, invoicing each
   completed request incrementally through the Table-1 billing models -- the
-  user-side view, metered live instead of post-hoc.
+  user-side view, metered live instead of post-hoc.  The meter is also
+  attached to the fleet, so the ``COST_FIT``-relevant provider spend and the
+  live user invoice are sampled on one timeline;
+- optionally, a :class:`~repro.sched.engine.SchedulerSim` registered as a
+  polled process on the same kernel, so CPU-bandwidth scheduling decisions
+  (tick accounting, cgroup throttling, task placement) co-simulate with the
+  serving, fleet and billing layers instead of running in a separate loop.
 
 The result is the cross-layer instrument the paper's cost findings call for:
-keep-alive policy, placement density and billing model interact inside one
-simulated timeline, with costs and fleet utilisation read off as they accrue.
+keep-alive policy, placement density, admission backpressure, scheduler
+throttling and billing model interact inside one simulated timeline, with
+costs and fleet utilisation read off as they accrue.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from repro.cluster.fleet import Fleet, FleetConfig
 from repro.platform.config import FunctionConfig, PlatformConfig
 from repro.platform.invoker import PlatformSimulator
 from repro.platform.metrics import SimulationMetrics
+from repro.sched.engine import SchedulerSim, SimulationResult
 from repro.sim.events import EventBus
 from repro.sim.kernel import SimulationKernel
 from repro.sim.rng import derive_seed
@@ -68,9 +78,10 @@ class ClusterResult:
     metrics: Dict[str, SimulationMetrics]
     fleet: Fleet
     meter: Optional[CostMeter]
+    scheduler: Optional[SimulationResult] = None
 
     def summary(self) -> Dict[str, float]:
-        """One flat row combining request-, fleet- and cost-level outcomes."""
+        """One flat row combining request-, fleet-, cost- and scheduler-level outcomes."""
         num_requests = sum(m.num_requests for m in self.metrics.values())
         cold_starts = sum(m.cold_starts for m in self.metrics.values())
         durations: List[float] = []
@@ -95,17 +106,41 @@ class ClusterResult:
                 "idle_instance_seconds",
             ):
                 row[key] = totals[key]
+        if self.scheduler is not None:
+            finished = [t for t in self.scheduler.tasks.values() if t.finished]
+            row["sched_tasks"] = float(len(self.scheduler.tasks))
+            row["sched_finished"] = float(len(finished))
+            row["sched_mean_duration_s"] = (
+                sum(t.duration_s for t in finished) / len(finished) if finished else 0.0
+            )
+            row["sched_cpu_consumed_s"] = sum(
+                t.cpu_consumed_s for t in self.scheduler.tasks.values()
+            )
+            row["sched_throttle_time_s"] = sum(
+                duration
+                for t in self.scheduler.tasks.values()
+                for _, duration in t.throttle_segments
+            )
         return row
 
 
 class ClusterSimulator:
-    """Co-simulates a set of function deployments over one shared kernel."""
+    """Co-simulates a set of function deployments over one shared kernel.
+
+    Pass ``scheduler`` (an un-run :class:`~repro.sched.engine.SchedulerSim`)
+    to register the CPU-bandwidth scheduling engine as a polled process on
+    the cluster kernel: its ticks, period refills and throttling decisions
+    then interleave with arrivals, cold starts, fleet placement and billing
+    in one deterministic event order.  The run horizon is extended to the
+    scheduler's own ``horizon_s`` so it always reaches its standalone result.
+    """
 
     def __init__(
         self,
         deployments: Sequence[FunctionDeployment],
         fleet_config: Optional[FleetConfig] = None,
         billing_platform: Optional[str] = None,
+        scheduler: Optional[SchedulerSim] = None,
         seed: int = 0,
     ) -> None:
         if not deployments:
@@ -125,6 +160,12 @@ class ClusterSimulator:
         self.meter: Optional[CostMeter] = (
             CostMeter(billing_platform) if billing_platform is not None else None
         )
+        if self.meter is not None:
+            # The fleet samples the live invoice next to its own host spend.
+            self.fleet.attach_meter(self.meter)
+        self.scheduler = scheduler
+        if scheduler is not None:
+            scheduler.attach(self.kernel)
         self.simulators: Dict[str, PlatformSimulator] = {}
         for deployment in self.deployments:
             name = deployment.function.name
@@ -162,6 +203,8 @@ class ClusterSimulator:
         for deployment in self.deployments:
             simulator = self.simulators[deployment.function.name]
             horizon = max(horizon, simulator.schedule_arrivals(self._arrivals(deployment)))
+        if self.scheduler is not None:
+            horizon = max(horizon, self.scheduler.config.horizon_s)
         if horizon_s is not None:
             horizon = horizon_s
         self.kernel.run(until=horizon + _EPS)
@@ -172,4 +215,5 @@ class ClusterSimulator:
             metrics={name: sim.metrics for name, sim in self.simulators.items()},
             fleet=self.fleet,
             meter=self.meter,
+            scheduler=self.scheduler.finalize() if self.scheduler is not None else None,
         )

@@ -6,25 +6,46 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["HostSpec", "Host"]
+__all__ = ["HostSpec", "Host", "DEFAULT_VCPU_HOUR_USD", "DEFAULT_GB_HOUR_USD"]
 
 _host_counter = itertools.count()
+
+#: Default provider-side capacity prices used when a spec does not set its own
+#: hourly cost: roughly the on-demand VM decomposition the paper's Figure 1
+#: compares serverless prices against (a 2 vCPU / 8 GB server at ~$0.096/h).
+DEFAULT_VCPU_HOUR_USD = 0.024
+DEFAULT_GB_HOUR_USD = 0.006
 
 
 @dataclass(frozen=True)
 class HostSpec:
-    """Capacity of one host server.
+    """Capacity and price class of one host server shape.
 
     The default matches a common cloud server shape used for FaaS fleets:
-    64 vCPUs and 256 GB of memory (a 1:4 vCPU:GB ratio).
+    64 vCPUs and 256 GB of memory (a 1:4 vCPU:GB ratio).  ``hourly_cost_usd``
+    is the provider-side cost of keeping one such host open; when left at
+    ``None`` it is derived from capacity at the default unit prices, so
+    homogeneous fleets keep working unchanged while heterogeneous fleets can
+    declare distinct price classes (e.g. a cheap high-density shape next to a
+    premium low-latency one) that the ``COST_FIT`` placement policy reads.
     """
 
     vcpus: float = 64.0
     memory_gb: float = 256.0
+    hourly_cost_usd: float = None  # type: ignore[assignment]
+    price_class: str = "standard"
 
     def __post_init__(self) -> None:
         if self.vcpus <= 0 or self.memory_gb <= 0:
             raise ValueError("host capacities must be positive")
+        if self.hourly_cost_usd is None:
+            object.__setattr__(
+                self,
+                "hourly_cost_usd",
+                self.vcpus * DEFAULT_VCPU_HOUR_USD + self.memory_gb * DEFAULT_GB_HOUR_USD,
+            )
+        if self.hourly_cost_usd < 0:
+            raise ValueError("hourly_cost_usd must be >= 0")
 
 
 @dataclass
@@ -33,6 +54,8 @@ class Host:
 
     spec: HostSpec
     name: str = ""
+    #: Fleet partition this host belongs to ("" for single-zone fleets).
+    zone: str = ""
     allocated_vcpus: float = field(default=0.0, init=False)
     allocated_memory_gb: float = field(default=0.0, init=False)
     sandboxes: List[str] = field(default_factory=list, init=False)

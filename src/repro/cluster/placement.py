@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.host import Host, HostSpec
 
@@ -32,11 +32,19 @@ class SandboxRequirement:
 
 
 class PlacementPolicy(str, enum.Enum):
-    """Bin-packing heuristics for sandbox placement."""
+    """Bin-packing heuristics for sandbox placement.
+
+    ``COST_FIT`` is the cost-aware policy: among feasible hosts it minimises
+    the host's price class (``HostSpec.hourly_cost_usd``) first, breaking
+    price ties best-fit-style (smallest leftover) and breaking *those* ties
+    by host open order -- a total, deterministic order, so equal-price hosts
+    always resolve the same way across runs and processes.
+    """
 
     FIRST_FIT = "first_fit"
     BEST_FIT = "best_fit"
     WORST_FIT = "worst_fit"
+    COST_FIT = "cost_fit"
 
 
 @dataclass
@@ -94,16 +102,24 @@ class PlacementResult:
         }
 
 
-def _score(host: Host, requirement: SandboxRequirement, policy: PlacementPolicy) -> float:
-    """Lower score is preferred.  Scores measure leftover capacity after placement."""
+def _leftover(host: Host, requirement: SandboxRequirement) -> float:
+    """Normalised capacity left on ``host`` after placing ``requirement``."""
     leftover_cpu = (host.free_vcpus - requirement.vcpus) / host.spec.vcpus
     leftover_memory = (host.free_memory_gb - requirement.memory_gb) / host.spec.memory_gb
-    leftover = leftover_cpu + leftover_memory
+    return leftover_cpu + leftover_memory
+
+
+def _score(host: Host, requirement: SandboxRequirement, policy: PlacementPolicy) -> Tuple[float, ...]:
+    """Lower score is preferred.  Scores measure leftover capacity after placement."""
     if policy is PlacementPolicy.BEST_FIT:
-        return leftover
+        return (_leftover(host, requirement),)
     if policy is PlacementPolicy.WORST_FIT:
-        return -leftover
-    return 0.0  # FIRST_FIT: order of the host list decides
+        return (-_leftover(host, requirement),)
+    if policy is PlacementPolicy.COST_FIT:
+        # Cheapest feasible host first; price ties resolve best-fit so cheap
+        # hosts fill up before another expensive one is touched.
+        return (host.spec.hourly_cost_usd, _leftover(host, requirement))
+    return (0.0,)  # FIRST_FIT: order of the host list decides
 
 
 def choose_host(

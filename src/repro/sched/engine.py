@@ -153,6 +153,8 @@ class SchedulerSim:
         self._cpus = [_CpuState(i) for i in range(config.num_cpus)]
         self._now = 0.0
         self._kernel: Optional[SimulationKernel] = None
+        self._attached = False
+        self._finalized = False
         # Tasks waiting to arrive, sorted by arrival time (popped from the front).
         self._pending = sorted(self.tasks, key=lambda t: t.arrival_s)
         # Per-CPU runnable queues (task affinity is fixed at arrival).
@@ -177,6 +179,11 @@ class SchedulerSim:
         completion is due, then calls :meth:`handle` to advance running tasks
         and process that instant's events.
         """
+        if self._attached:
+            raise RuntimeError(
+                "this engine is attached to a shared kernel; drive that kernel "
+                "and call finalize() instead of run()"
+            )
         kernel = SimulationKernel(start_s=self._now)
         kernel.add_process(self)
         self._kernel = kernel
@@ -195,11 +202,54 @@ class SchedulerSim:
         self._close_open_segments()
         return self._collect()
 
+    def attach(self, kernel: SimulationKernel) -> "SchedulerSim":
+        """Register this engine as a polled process on a *shared* kernel.
+
+        This is how scheduler decisions (cgroup throttling, tick accounting,
+        task placement) co-simulate with the platform/fleet/billing layers in
+        one event loop: the shared kernel owns the clock, polls the engine
+        for its next tick/refill/arrival/completion, and interleaves it with
+        every other simulator's events.  Past its own ``horizon_s`` (or once
+        every task is done) the engine reports nothing pending, so it never
+        keeps the cluster loop alive.  After the kernel run, call
+        :meth:`finalize` to close open run segments and collect results.
+        """
+        if self._attached or self._kernel is not None:
+            raise RuntimeError("engine already attached to a kernel (or already run)")
+        self._attached = True
+        self._kernel = kernel
+        kernel.add_process(self)
+        return self
+
+    def finalize(self) -> SimulationResult:
+        """Collect results after a shared-kernel run (idempotent).
+
+        Mirrors the tail of :meth:`run`: unfinished tasks are advanced to the
+        engine's horizon, open run/throttle segments are closed, and the
+        per-task results plus bandwidth statistics are returned.
+        """
+        if not self._finalized:
+            self._finalized = True
+            if not all(t.is_done for t in self.tasks):
+                self._advance_running(max(self._now, self.config.horizon_s))
+            self._close_open_segments()
+        return self._collect()
+
     # -- repro.sim.kernel.SimProcess protocol --------------------------
 
     def next_event_time(self, now: float) -> Optional[float]:
-        """When this engine next needs the clock (kernel poll)."""
-        return self._next_event_time()
+        """When this engine next needs the clock (kernel poll).
+
+        Returns ``None`` once the next event would fall strictly beyond the
+        configured horizon -- exactly where the standalone :meth:`run` loop
+        stops -- so a shared kernel never drives the engine past it.
+        """
+        if self._finalized:
+            return None
+        next_time = self._next_event_time()
+        if next_time is None or next_time > self.config.horizon_s:
+            return None
+        return next_time
 
     def handle(self, now: float) -> None:
         """Advance running tasks to ``now`` and process that instant's events."""

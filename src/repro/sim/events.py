@@ -26,11 +26,14 @@ __all__ = [
     "InstanceCountChanged",
     "KeepAliveExpired",
     "RequestCompleted",
+    "SandboxAdmitted",
     "SandboxBusy",
     "SandboxColdStart",
     "SandboxEvicted",
     "SandboxIdle",
     "SandboxProvisioned",
+    "SandboxQueued",
+    "SandboxRejected",
     "SandboxTerminated",
     "SimEvent",
 ]
@@ -109,6 +112,47 @@ class SandboxEvicted(SandboxTerminated):
     teardown keep working.
     """
 
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SandboxQueued(SimEvent):
+    """A cold-started sandbox found no host and entered the admission queue.
+
+    Published by the fleet layer when admission backpressure is enabled:
+    instead of dropping an unplaceable sandbox, the fleet parks it in a
+    bounded queue and retries on every capacity release.  ``queue_depth`` is
+    the depth *after* this sandbox joined.
+    """
+
+    sandbox_name: str
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class SandboxAdmitted(SimEvent):
+    """The fleet placed a sandbox on a host.
+
+    Published on every successful placement.  ``queue_wait_s`` is zero for
+    sandboxes placed directly on cold start and positive for sandboxes that
+    waited in the admission queue until capacity was released.
+    """
+
+    sandbox_name: str
+    host_name: str = ""
+    queue_wait_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SandboxRejected(SimEvent):
+    """The fleet refused a sandbox for good.
+
+    ``reason`` is ``"oversized"`` (the demand exceeds every zone's host
+    shape), ``"no_capacity"`` (no host fits and queueing is disabled), or
+    ``"queue_full"`` (the bounded admission queue is at its depth limit).
+    """
+
+    sandbox_name: str
     reason: str = ""
 
 

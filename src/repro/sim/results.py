@@ -124,16 +124,36 @@ class ResultStore:
 
         Values parse back to ``int``/``float`` where they look numeric and
         stay strings otherwise (CSV does not preserve types); column order
-        follows the file header.
+        follows the file header.  Parsing is *round-trip safe* for the
+        identifier shapes this repo produces: a value only becomes an ``int``
+        if the int prints back to exactly the same text, so zero-padded
+        counters (``"00042"``, the tail of fleet host names and namespaced
+        request/sandbox ids) and underscore-grouped digits (``"1_000"``)
+        survive as strings instead of silently collapsing to numbers.
+        Cells written as ``""`` for keys a row never had are dropped, so
+        heterogeneous-key stores compare equal after a round trip.
         """
         def _parse(value: str) -> object:
-            for kind in (int, float):
-                try:
-                    return kind(value)
-                except ValueError:
-                    continue
-            return value
+            if "_" in value:
+                # int()/float() accept PEP-515 digit grouping ("1_000"), which
+                # does not survive a write-back; keep such values as text.
+                return value
+            try:
+                as_int = int(value)
+            except ValueError:
+                pass
+            else:
+                # Reject non-canonical spellings ("007", "+5", " 5"): they
+                # parse, but str(int(...)) would not reproduce the original.
+                return as_int if str(as_int) == value else value
+            try:
+                return float(value)
+            except ValueError:
+                return value
 
         with open(path, "r", newline="") as handle:
             reader = csv.DictReader(handle)
-            return cls({key: _parse(value) for key, value in row.items()} for row in reader)
+            return cls(
+                {key: _parse(value) for key, value in row.items() if value != ""}
+                for row in reader
+            )

@@ -1,0 +1,113 @@
+"""Golden-file regression tests for the Table-1 request-billed invoice path.
+
+The live :class:`~repro.billing.meter.CostMeter` and the batch
+:class:`~repro.billing.calculator.BillingCalculator` are proven equivalent in
+``test_billing_meter.py`` -- but both could still drift *together* under a
+refactor.  These tests pin the absolute invoice of a frozen synthetic trace
+for every request-billed Table-1 model into ``tests/golden/*.json`` and
+assert **float-exact** equality (JSON stores the shortest round-tripping
+``repr`` of each double, so ``==`` is bit-exact), the fault-density
+discipline of regression suites: any billing change must touch the goldens
+deliberately.
+
+Regenerate after an *intentional* billing change with::
+
+    PYTHONPATH=src python tests/test_billing_golden.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.billing.calculator import BillingCalculator
+from repro.billing.meter import CostMeter, replay_trace
+from repro.sim.events import EventBus
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The five request-billed platform models of Table 1 (instance-billed models
+#: are metered from sandbox lifespans and covered elsewhere).
+REQUEST_BILLED_PLATFORMS = (
+    "aws_lambda",
+    "gcp_run_request",
+    "azure_consumption",
+    "huawei_functiongraph",
+    "cloudflare_workers",
+)
+
+#: Frozen trace identity: changing any of these invalidates every golden file.
+TRACE_CONFIG = TraceGeneratorConfig(num_requests=800, num_functions=25, seed=424242)
+
+
+def _frozen_trace():
+    return TraceGenerator(TRACE_CONFIG).generate()
+
+
+def _invoice(platform: str) -> dict:
+    """Meter the frozen trace live AND in batch; return the (identical) totals."""
+    trace = _frozen_trace()
+    bus = EventBus()
+    meter = CostMeter(platform).attach(bus)
+    ordered = replay_trace(trace, bus)
+
+    calculator = BillingCalculator(platform)
+    batch_cost = 0.0
+    batch_cpu = 0.0
+    batch_memory = 0.0
+    batch_fees = 0.0
+    for record in ordered:
+        billed = calculator.bill_request(record)
+        batch_cost += billed.invoice.total
+        batch_cpu += billed.billable_cpu_seconds
+        batch_memory += billed.billable_memory_gb_seconds
+        batch_fees += billed.invoice.charge_for("invocation_fee")
+
+    # live == batch, exactly, before anything is compared against the golden.
+    assert meter.cost_usd == batch_cost
+    assert meter.billable_cpu_seconds == batch_cpu
+    assert meter.billable_memory_gb_seconds == batch_memory
+    assert meter.invocation_fee_usd == batch_fees
+
+    return {
+        "platform": platform,
+        "num_requests": meter.num_requests,
+        "cost_usd": meter.cost_usd,
+        "billable_cpu_seconds": meter.billable_cpu_seconds,
+        "billable_memory_gb_seconds": meter.billable_memory_gb_seconds,
+        "actual_cpu_seconds": meter.actual_cpu_seconds,
+        "actual_memory_gb_seconds": meter.actual_memory_gb_seconds,
+        "invocation_fee_usd": meter.invocation_fee_usd,
+    }
+
+
+@pytest.mark.parametrize("platform", REQUEST_BILLED_PLATFORMS)
+def test_invoice_matches_golden_float_exact(platform):
+    golden_path = GOLDEN_DIR / f"{platform}.json"
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        "'PYTHONPATH=src python tests/test_billing_golden.py'"
+    )
+    golden = json.loads(golden_path.read_text())
+    current = _invoice(platform)
+    # Field-by-field == on floats: bit-exact, no tolerance.  A failure here
+    # means the billing pipeline's arithmetic changed.
+    assert current == golden
+
+
+def test_golden_files_cover_every_request_billed_platform():
+    present = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert present == set(REQUEST_BILLED_PLATFORMS)
+
+
+def regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for platform in REQUEST_BILLED_PLATFORMS:
+        path = GOLDEN_DIR / f"{platform}.json"
+        path.write_text(json.dumps(_invoice(platform), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

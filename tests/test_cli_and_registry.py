@@ -25,6 +25,7 @@ class TestRegistry:
             "figure12",
             "exploit",
             "cluster_costs",
+            "backpressure",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,158 @@
+"""Tests for the scheduler engine's participation in the cluster co-simulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+from repro.cluster.fleet import FleetConfig, ZoneConfig
+from repro.cluster.host import HostSpec
+from repro.cluster.placement import PlacementPolicy
+from repro.platform.presets import get_platform_preset
+from repro.sched.engine import SchedulerSim
+from repro.sched.presets import scheduler_config_for
+from repro.sched.task import SimTask, TaskPhase
+from repro.sim.kernel import SimulationKernel
+from repro.workloads.functions import PYAES_FUNCTION
+
+
+def _deployments(count, rps=3.0, duration_s=10.0):
+    preset = get_platform_preset("gcp_run_like")
+    out = []
+    for index in range(count):
+        function = PYAES_FUNCTION.to_function_config(1.0, 2.0, init_duration_s=1.0)
+        function = dataclasses.replace(function, name=f"fn-{index:02d}")
+        out.append(FunctionDeployment(function=function, platform=preset, rps=rps, duration_s=duration_s))
+    return out
+
+
+def _sched_tasks():
+    return [
+        SimTask(phases=[TaskPhase.compute(0.4)], arrival_s=0.1 * index, name=f"t{index}")
+        for index in range(4)
+    ]
+
+
+def _sched_config(horizon_s=20.0):
+    return scheduler_config_for("aws_lambda", vcpu_fraction=0.5, horizon_s=horizon_s)
+
+
+class TestSchedulerAttach:
+    def test_attached_engine_matches_standalone_exactly(self):
+        """Co-simulating on the shared kernel must not perturb scheduler results."""
+        standalone = SchedulerSim(_sched_config(), _sched_tasks()).run()
+        engine = SchedulerSim(_sched_config(), _sched_tasks())
+        simulator = ClusterSimulator(_deployments(2), scheduler=engine, seed=3)
+        cosim = simulator.run().scheduler
+        assert cosim is not None
+        for name, expected in standalone.tasks.items():
+            actual = cosim.tasks[name]
+            assert actual.completion_s == expected.completion_s
+            assert actual.cpu_consumed_s == expected.cpu_consumed_s
+            assert actual.run_segments == expected.run_segments
+            assert actual.throttle_segments == expected.throttle_segments
+        assert cosim.bandwidth_stats == standalone.bandwidth_stats
+
+    def test_attach_then_run_rejected(self):
+        engine = SchedulerSim(_sched_config(), _sched_tasks())
+        engine.attach(SimulationKernel())
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_double_attach_rejected(self):
+        engine = SchedulerSim(_sched_config(), _sched_tasks())
+        engine.attach(SimulationKernel())
+        with pytest.raises(RuntimeError):
+            engine.attach(SimulationKernel())
+
+    def test_finalize_idempotent(self):
+        engine = SchedulerSim(_sched_config(), _sched_tasks())
+        kernel = SimulationKernel()
+        engine.attach(kernel)
+        kernel.run(until=25.0)
+        first = engine.finalize()
+        second = engine.finalize()
+        assert first.tasks.keys() == second.tasks.keys()
+        assert all(first.tasks[n].completion_s == second.tasks[n].completion_s for n in first.tasks)
+
+    def test_engine_goes_quiet_past_horizon(self):
+        """The attached engine must not keep the shared kernel alive forever."""
+        engine = SchedulerSim(_sched_config(horizon_s=5.0), _sched_tasks())
+        kernel = SimulationKernel()
+        engine.attach(kernel)
+        kernel.run()  # unbounded: terminates because the engine drains
+        result = engine.finalize()
+        assert all(task.finished for task in result.tasks.values())
+
+    def test_summary_carries_scheduler_columns(self):
+        engine = SchedulerSim(_sched_config(), _sched_tasks())
+        simulator = ClusterSimulator(_deployments(1), scheduler=engine, seed=5)
+        summary = simulator.run().summary()
+        assert summary["sched_tasks"] == 4.0
+        assert summary["sched_finished"] == 4.0
+        assert summary["sched_cpu_consumed_s"] == pytest.approx(1.6)
+        assert summary["sched_throttle_time_s"] > 0.0  # 0.5 vCPU quota throttles
+        assert summary["sched_mean_duration_s"] > 0.4  # throttling stretches wall-clock
+
+    def test_no_scheduler_omits_columns(self):
+        summary = ClusterSimulator(_deployments(1), seed=5).run().summary()
+        assert "sched_tasks" not in summary
+
+
+class TestSingleKernelAcceptance:
+    """Acceptance criterion: scheduler + fleet + backpressure + COST_FIT in one kernel."""
+
+    def _simulator(self, seed=11):
+        zones = (
+            ZoneConfig(
+                name="economy",
+                host_spec=HostSpec(vcpus=2, memory_gb=4, hourly_cost_usd=0.2),
+                max_hosts=1,
+            ),
+            ZoneConfig(
+                name="premium",
+                host_spec=HostSpec(vcpus=4, memory_gb=8, hourly_cost_usd=1.0),
+                max_hosts=1,
+            ),
+        )
+        return ClusterSimulator(
+            _deployments(4, rps=2.0, duration_s=15.0),
+            fleet_config=FleetConfig(
+                zones=zones, policy=PlacementPolicy.COST_FIT, queue_depth=16
+            ),
+            billing_platform="gcp_run_request",
+            scheduler=SchedulerSim(_sched_config(horizon_s=15.0), _sched_tasks()),
+            seed=seed,
+        )
+
+    def test_full_stack_runs_and_reports_every_layer(self):
+        summary = self._simulator().run().summary()
+        assert summary["num_requests"] == 4 * 2.0 * 15.0
+        assert summary["num_zones"] == 2.0
+        assert summary["sched_finished"] == 4.0
+        assert summary["cost_usd"] > 0.0
+        assert summary["provider_cost_usd"] > 0.0
+        # The deliberately tiny fleet exercises the queue, not the drop path.
+        assert summary["queued"] > 0.0
+        assert summary["unplaceable"] == 0.0
+        assert summary["rejected_queue_full"] == 0.0
+        assert summary["rejected_no_capacity"] == 0.0
+
+    def test_full_stack_deterministic_given_seed(self):
+        first = self._simulator().run().summary()
+        second = self._simulator().run().summary()
+        assert first == second
+
+    def test_zero_capacity_cluster_queues_rather_than_drops(self):
+        """Acceptance criterion: the zero-capacity fleet queues, never drops."""
+        simulator = ClusterSimulator(
+            _deployments(1, rps=1.0, duration_s=5.0),
+            fleet_config=FleetConfig(
+                host_spec=HostSpec(vcpus=2, memory_gb=4), max_hosts=0, queue_depth=100
+            ),
+            seed=2,
+        )
+        result = simulator.run()
+        assert result.fleet.queued_total > 0
+        assert len(result.fleet.unplaceable) == 0
+        assert result.fleet.admitted == 0

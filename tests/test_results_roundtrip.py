@@ -1,0 +1,116 @@
+"""Round-trip safety of ResultStore CSV persistence for fleet/platform identifiers."""
+
+from repro.sim.results import ResultStore
+
+
+class TestIdentifierRoundTrip:
+    def test_fleet_host_names_survive(self, tmp_path):
+        """Fleet host names ('host-00000', 'zone/host-00001') stay strings."""
+        store = ResultStore(
+            [
+                {"host": "host-00000", "zone_host": "economy/host-00001", "count": 3},
+                {"host": "host-00012", "zone_host": "premium/host-00000", "count": 4},
+            ]
+        )
+        path = tmp_path / "hosts.csv"
+        store.to_csv(str(path))
+        assert ResultStore.from_csv(str(path)) == store
+
+    def test_request_and_sandbox_id_namespacing_survives(self, tmp_path):
+        """PlatformSimulator's namespaced ids round-trip without mangling."""
+        store = ResultStore(
+            [
+                {
+                    "request_id": "fn-000/req-0000001",
+                    "sandbox": "fn-000/sandbox-000002",
+                    "bare_request": "req-0000042",
+                }
+            ]
+        )
+        path = tmp_path / "ids.csv"
+        store.to_csv(str(path))
+        assert ResultStore.from_csv(str(path)) == store
+
+    def test_zero_padded_counter_fragments_stay_strings(self, tmp_path):
+        """The zero-padded counter tail of a split id must not collapse to int.
+
+        This was the field-loss bug: ``int("00042") == 42`` parses, so a
+        column holding the counter part of a host/request name silently lost
+        its padding (and its string type) on ``from_csv``.
+        """
+        store = ResultStore([{"counter": "00042", "grouped": "1_000", "plus": "+5"}])
+        path = tmp_path / "counters.csv"
+        store.to_csv(str(path))
+        loaded = ResultStore.from_csv(str(path))
+        assert loaded == store
+        row = loaded.rows[0]
+        assert row["counter"] == "00042" and isinstance(row["counter"], str)
+        assert row["grouped"] == "1_000" and isinstance(row["grouped"], str)
+        assert row["plus"] == "+5" and isinstance(row["plus"], str)
+
+    def test_canonical_numbers_still_parse(self, tmp_path):
+        store = ResultStore([{"i": 42, "neg": -7, "f": 60.0, "exp": 1.5e-05, "zero": 0}])
+        path = tmp_path / "numbers.csv"
+        store.to_csv(str(path))
+        row = ResultStore.from_csv(str(path)).rows[0]
+        assert row["i"] == 42 and isinstance(row["i"], int)
+        assert row["neg"] == -7 and isinstance(row["neg"], int)
+        assert row["f"] == 60.0 and isinstance(row["f"], float)
+        assert row["exp"] == 1.5e-05 and isinstance(row["exp"], float)
+        assert row["zero"] == 0 and isinstance(row["zero"], int)
+
+    def test_heterogeneous_rows_round_trip(self, tmp_path):
+        """Keys missing from a row stay missing after a round trip.
+
+        ``to_csv`` writes ``""`` for absent keys under the union header;
+        ``from_csv`` drops those cells again instead of resurrecting them as
+        empty-string fields, so store equality holds.
+        """
+        store = ResultStore(
+            [
+                {"a": 1, "b": "x"},
+                {"a": 2, "c": 3.5},
+            ]
+        )
+        path = tmp_path / "hetero.csv"
+        store.to_csv(str(path))
+        loaded = ResultStore.from_csv(str(path))
+        assert loaded == store
+        assert "c" not in loaded.rows[0] and "b" not in loaded.rows[1]
+
+    def test_cluster_fleet_summary_row_round_trips(self, tmp_path):
+        """An actual co-simulation summary row survives CSV persistence."""
+        import dataclasses
+
+        from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+        from repro.cluster.fleet import FleetConfig
+        from repro.cluster.host import HostSpec
+        from repro.platform.presets import get_platform_preset
+        from repro.workloads.functions import PYAES_FUNCTION
+
+        function = PYAES_FUNCTION.to_function_config(1.0, 2.0, init_duration_s=0.5)
+        function = dataclasses.replace(function, name="fn-00")
+        simulator = ClusterSimulator(
+            [
+                FunctionDeployment(
+                    function=function,
+                    platform=get_platform_preset("gcp_run_like"),
+                    rps=2.0,
+                    duration_s=5.0,
+                )
+            ],
+            fleet_config=FleetConfig(
+                host_spec=HostSpec(vcpus=2, memory_gb=4), max_hosts=1, queue_depth=4
+            ),
+            billing_platform="gcp_run_request",
+            seed=13,
+        )
+        result = simulator.run()
+        row = dict(result.summary())
+        row["first_host"] = result.fleet.hosts[0].name  # "host-00000"
+        store = ResultStore([row])
+        path = tmp_path / "summary.csv"
+        store.to_csv(str(path))
+        loaded = ResultStore.from_csv(str(path))
+        assert loaded.rows[0]["first_host"] == "host-00000"
+        assert loaded == store
