@@ -108,8 +108,12 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     ``workload``, ``rps_per_function``, ``duration_s``, ``keep_alive_s``
     (rescales the preset's keep-alive window; defaults to a third of the
     duration so evictions drain the queue mid-run), ``arrival_process``,
-    ``host_vcpus``, ``host_memory_gb``, ``sample_interval_s``, and
-    ``with_scheduler`` (default true: co-simulate the sched engine).
+    ``host_vcpus``, ``host_memory_gb``, ``sample_interval_s``,
+    ``with_scheduler`` (default true: co-simulate the sched engine), and
+    ``feedback`` (``off`` | ``on``, default ``off``).  With feedback on the
+    admission outcomes and scheduler throttling feed back into serving, so
+    the ``failed_requests`` / ``latency_inflation`` columns report the
+    user-visible cost of backpressure instead of zero.
 
     Imports stay inside the function so the runner is resolvable by dotted
     path in sweep worker processes without import cycles.
@@ -137,6 +141,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     host_vcpus = float(params.get("host_vcpus", 2.0))  # type: ignore[arg-type]
     host_memory_gb = float(params.get("host_memory_gb", 4.0))  # type: ignore[arg-type]
     with_scheduler = bool(params.get("with_scheduler", True))
+    feedback = str(params.get("feedback", "off"))
 
     # Rescale the preset's keep-alive window so its max hits ``keep_alive_s``
     # (preserving the min/max ratio).  A window shorter than the traffic
@@ -184,6 +189,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
         billing_platform=billing,
         scheduler=_scheduler(seed, duration_s) if with_scheduler else None,
         seed=seed,
+        feedback=feedback,
     )
     result = simulator.run()
 
@@ -194,6 +200,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
         "queue_discipline": discipline,
         "keep_alive_s": keep_alive_s,
         "platform": platform.name,
+        "feedback": feedback,
         "seed": seed,
     }
     summary = result.summary()
@@ -207,15 +214,22 @@ def backpressure_sweep(
     common: Optional[Mapping[str, object]] = None,
     base_seed: int = 2026,
     processes: Optional[int] = None,
+    ordered: bool = True,
 ) -> ResultStore:
-    """Run the backpressure grid through the sweep orchestrator."""
+    """Run the backpressure grid through the sweep orchestrator.
+
+    ``ordered=False`` enables work-stealing execution: co-simulation grid
+    points vary widely in cost (queue depth and heterogeneity change event
+    counts), which is exactly where unordered pools beat fixed chunking.  The
+    collected rows are identical either way.
+    """
     scenarios = build_grid(
         runner="repro.analysis.backpressure:backpressure_point",
         axes=dict(axes or DEFAULT_AXES),
         common=common,
         base_seed=base_seed,
     )
-    return run_sweep(scenarios, processes=processes)
+    return run_sweep(scenarios, processes=processes, ordered=ordered)
 
 
 def backpressure_experiment() -> List[Dict[str, object]]:

@@ -43,7 +43,10 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     ``gcp_run_like``), ``billing`` (billing-model name, default
     ``gcp_run_request``), ``workload`` (catalog name, default ``pyaes``),
     ``rps_per_function``, ``duration_s``, ``arrival_process``,
-    ``host_vcpus``, ``host_memory_gb``, ``sample_interval_s``.
+    ``host_vcpus``, ``host_memory_gb``, ``sample_interval_s``, and
+    ``feedback`` (``off`` | ``on``, default ``off``: close the state loop so
+    admission outcomes and scheduler throttling shape the
+    ``failed_requests`` / ``latency_inflation`` columns).
 
     Imports stay inside the function so the runner is resolvable by dotted
     path in sweep worker processes without import cycles.
@@ -102,6 +105,7 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
             )
         )
 
+    feedback = str(params.get("feedback", "off"))
     simulator = ClusterSimulator(
         deployments,
         fleet_config=FleetConfig(
@@ -111,6 +115,7 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
         ),
         billing_platform=billing,
         seed=seed,
+        feedback=feedback,
     )
     result = simulator.run()
 
@@ -119,6 +124,7 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
         "placement_policy": policy.value,
         "keep_alive_s": keep_alive_s,
         "platform": platform.name,
+        "feedback": feedback,
         "seed": seed,
     }
     summary = result.summary()
@@ -133,15 +139,20 @@ def cluster_cost_sweep(
     common: Optional[Mapping[str, object]] = None,
     base_seed: int = 2026,
     processes: Optional[int] = None,
+    ordered: bool = True,
 ) -> ResultStore:
-    """Run the cluster-cost grid through the sweep orchestrator."""
+    """Run the cluster-cost grid through the sweep orchestrator.
+
+    ``ordered=False`` uses work-stealing pool execution (identical rows,
+    better worker utilisation on heterogeneous grids).
+    """
     scenarios = build_grid(
         runner="repro.analysis.cluster_costs:cluster_point",
         axes=dict(axes or DEFAULT_AXES),
         common=common,
         base_seed=base_seed,
     )
-    return run_sweep(scenarios, processes=processes)
+    return run_sweep(scenarios, processes=processes, ordered=ordered)
 
 
 def cluster_costs_experiment() -> List[Dict[str, object]]:

@@ -23,12 +23,28 @@ Two billing families are handled:
 
 Idle (keep-alive) instance-seconds are accounted separately from busy time so
 provider-side keep-alive cost can be read off the meter.
+
+Two cross-layer refinements ride on the same event stream:
+
+- **Stretched billing**: the meter bills the ``execution_duration_s`` each
+  outcome actually reports.  When the execution-feedback layer
+  (:mod:`repro.sim.feedback`) is on, scheduler throttling stretches those
+  durations, so invoices reflect throttled reality with no meter changes --
+  and with feedback off the durations (and therefore the float-exact
+  live==batch equivalence) are untouched.
+- **Zone-aware pricing**: with ``price_class_multipliers`` configured and a
+  fleet attached (:meth:`CostMeter.attach_fleet`), each request/instance is
+  billed at the price class of the host its sandbox is placed on (resource
+  unit prices scaled via
+  :meth:`~repro.billing.models.BillingModel.with_price_multiplier`), giving
+  heterogeneous multi-zone fleets a per-zone invoice
+  (:attr:`CostMeter.cost_usd_by_class`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.billing.calculator import BilledInvocation, BillingCalculator, InvocationBillingInput
 from repro.billing.models import BillableTime, BillingModel
@@ -36,6 +52,7 @@ from repro.billing.units import ResourceKind
 from repro.sim.events import (
     EventBus,
     RequestCompleted,
+    SandboxAdmitted,
     SandboxBusy,
     SandboxColdStart,
     SandboxIdle,
@@ -108,10 +125,21 @@ class CostMeter:
         self,
         platform: "str | BillingModel",
         include_invocation_fee: bool = True,
+        price_class_multipliers: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.calculator = BillingCalculator(platform)
         self.include_invocation_fee = include_invocation_fee
         self._instance_billed = self.calculator.model.billable_time is BillableTime.INSTANCE
+        # Zone-aware pricing: price class -> unit-price multiplier, with one
+        # lazily built calculator per class.  The resolver (attach_fleet) maps
+        # a sandbox name to the price class of its current host.
+        self._price_class_multipliers = (
+            dict(price_class_multipliers) if price_class_multipliers is not None else None
+        )
+        self._class_calculators: Dict[str, BillingCalculator] = {}
+        self._price_class_resolver: Optional[Callable[[str], Optional[str]]] = None
+        #: Running invoice per price class ("standard" covers unresolved work).
+        self.cost_usd_by_class: Dict[str, float] = {}
         # Request-level accumulators.
         self.num_requests = 0
         self.num_cold_starts = 0
@@ -149,17 +177,79 @@ class CostMeter:
         bus.subscribe(SandboxTerminated, self._on_terminated)
         return self
 
+    def attach_admissions(self, bus: EventBus) -> "CostMeter":
+        """Start instance lifespans at fleet *admission* instead of cold start.
+
+        Only meaningful in a closed-loop co-simulation (feedback on), where a
+        queued cold start does not land on a host -- and cannot initialise --
+        until the fleet admits it.  Subscribing the meter to the cluster
+        bus's :class:`SandboxAdmitted` events re-bases each open instance's
+        start time to its admission, so instance-billed invoices exclude the
+        admission-queue wait.  Directly placed sandboxes are admitted at
+        their cold-start time, leaving their lifespans float-exactly
+        unchanged.
+        """
+        bus.subscribe(SandboxAdmitted, self._on_admitted)
+        return self
+
+    def attach_fleet(self, fleet) -> "CostMeter":
+        """Resolve each sandbox's price class through a fleet's live placements.
+
+        ``fleet`` is duck-typed (``price_class_of(sandbox_name)``, see
+        :meth:`repro.cluster.fleet.Fleet.price_class_of`) so the billing layer
+        does not import the cluster layer.  Only meaningful together with
+        ``price_class_multipliers``; without multipliers every class bills at
+        base prices anyway.
+        """
+        self._price_class_resolver = fleet.price_class_of
+        return self
+
+    def _resolve_price_class(self, sandbox_name: str) -> Optional[str]:
+        if self._price_class_resolver is None or not sandbox_name:
+            return None
+        return self._price_class_resolver(sandbox_name)
+
+    def _add_cost(self, price_class: Optional[str], amount_usd: float) -> None:
+        """Fold one charge into the total and its price-class bucket."""
+        bucket = price_class if price_class is not None else "standard"
+        self.cost_usd_by_class[bucket] = self.cost_usd_by_class.get(bucket, 0.0) + amount_usd
+        self.cost_usd += amount_usd
+
+    def _calculator_for(self, price_class: Optional[str]) -> BillingCalculator:
+        """The per-price-class calculator (the base one when pricing is flat).
+
+        With no multipliers configured -- or a multiplier of exactly 1.0 --
+        this returns the base calculator itself, keeping the float-exact
+        live==batch equivalence intact for single-zone runs.
+        """
+        if price_class is None or self._price_class_multipliers is None:
+            return self.calculator
+        multiplier = self._price_class_multipliers.get(price_class, 1.0)
+        if multiplier == 1.0:
+            return self.calculator
+        calculator = self._class_calculators.get(price_class)
+        if calculator is None:
+            calculator = BillingCalculator(self.model.with_price_multiplier(multiplier))
+            self._class_calculators[price_class] = calculator
+        return calculator
+
     # ------------------------------------------------------------------
     # Request metering
     # ------------------------------------------------------------------
 
-    def meter_request(self, inputs: InvocationBillingInput, cold_start: bool = False) -> BilledInvocation:
-        """Bill one invocation and fold it into the running totals."""
-        billed = self.calculator.bill(inputs, include_invocation_fee=self.include_invocation_fee)
+    def meter_request(
+        self,
+        inputs: InvocationBillingInput,
+        cold_start: bool = False,
+        price_class: Optional[str] = None,
+    ) -> BilledInvocation:
+        """Bill one invocation (at its zone's price class) into the running totals."""
+        calculator = self._calculator_for(price_class)
+        billed = calculator.bill(inputs, include_invocation_fee=self.include_invocation_fee)
         self.num_requests += 1
         if cold_start:
             self.num_cold_starts += 1
-        self.cost_usd += billed.invoice.total
+        self._add_cost(price_class, billed.invoice.total)
         self.billable_cpu_seconds += billed.billable_cpu_seconds
         self.billable_memory_gb_seconds += billed.billable_memory_gb_seconds
         self.actual_cpu_seconds += billed.actual_cpu_seconds
@@ -185,8 +275,9 @@ class CostMeter:
             if cold:
                 self.num_cold_starts += 1
             return
+        price_class = self._resolve_price_class(str(getattr(outcome, "sandbox_name", "")))
         if is_record:
-            self.meter_request(InvocationBillingInput.from_request(outcome), cold)
+            self.meter_request(InvocationBillingInput.from_request(outcome), cold, price_class)
             return
         if resources is None:
             raise ValueError(
@@ -203,6 +294,7 @@ class CostMeter:
                 used_memory_gb=resources.used_memory_gb,
             ),
             cold,
+            price_class,
         )
 
     # ------------------------------------------------------------------
@@ -216,6 +308,11 @@ class CostMeter:
             alloc_memory_gb=event.alloc_memory_gb,
         )
         self.instances_started += 1
+
+    def _on_admitted(self, event: SandboxAdmitted) -> None:
+        instance = self._open_instances.get(event.sandbox_name)
+        if instance is not None:
+            instance.started_s = event.time_s
 
     def _on_busy(self, event: SandboxBusy) -> None:
         instance = self._open_instances.get(event.sandbox_name)
@@ -231,9 +328,9 @@ class CostMeter:
     def _on_terminated(self, event: SandboxTerminated) -> None:
         instance = self._open_instances.pop(event.sandbox_name, None)
         if instance is not None:
-            self._close_instance(instance, event.time_s)
+            self._close_instance(event.sandbox_name, instance, event.time_s)
 
-    def _close_instance(self, instance: _OpenInstance, now_s: float) -> None:
+    def _close_instance(self, name: str, instance: _OpenInstance, now_s: float) -> None:
         lifespan = max(now_s - instance.started_s, 0.0)
         if instance.idle_since_s is not None:
             instance.idle_seconds += max(now_s - instance.idle_since_s, 0.0)
@@ -244,7 +341,11 @@ class CostMeter:
         self.allocated_vcpu_seconds += instance.alloc_vcpus * lifespan
         self.allocated_memory_gb_seconds += instance.alloc_memory_gb * lifespan
         if self._instance_billed and lifespan > 0:
-            invoice = self.model.invoice(
+            # Resolve the zone price class while the sandbox is still placed
+            # (the meter closes instances before the fleet releases capacity).
+            price_class = self._resolve_price_class(name)
+            model = self._calculator_for(price_class).model
+            invoice = model.invoice(
                 execution_s=0.0,
                 allocations={
                     ResourceKind.CPU: instance.alloc_vcpus,
@@ -254,8 +355,8 @@ class CostMeter:
                 instance_s=lifespan,
                 include_invocation_fee=False,
             )
-            self.cost_usd += invoice.total
-            billable = self.model.billable_resources(
+            self._add_cost(price_class, invoice.total)
+            billable = model.billable_resources(
                 execution_s=0.0,
                 allocations={
                     ResourceKind.CPU: instance.alloc_vcpus,
@@ -269,7 +370,7 @@ class CostMeter:
     def finalize(self, now_s: float) -> None:
         """Close instances still open at the end of the simulation horizon."""
         for name in sorted(self._open_instances):
-            self._close_instance(self._open_instances.pop(name), now_s)
+            self._close_instance(name, self._open_instances.pop(name), now_s)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -17,6 +17,7 @@ monetary cost computation (an :class:`Invoice` with per-line items).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
@@ -280,6 +281,36 @@ class BillingModel:
                 )
             )
         return Invoice(platform=self.platform, line_items=tuple(items))
+
+    # ------------------------------------------------------------------
+    # Zone-aware pricing
+    # ------------------------------------------------------------------
+
+    def with_price_multiplier(self, multiplier: float) -> "BillingModel":
+        """This model with every resource unit price scaled by ``multiplier``.
+
+        The basis of zone-aware invoicing: a heterogeneous fleet's price
+        classes map to multipliers on the platform's list prices (a premium
+        zone bills the same billable quantities at a higher rate).  The
+        per-invocation fee is *not* scaled -- it pays for the control plane,
+        which is zone-independent.  ``multiplier == 1.0`` returns ``self``
+        unchanged, preserving float-exact behaviour for single-zone fleets.
+        """
+        if multiplier < 0:
+            raise ValueError("price multiplier must be >= 0")
+        if multiplier == 1.0:
+            return self
+        return dataclasses.replace(
+            self,
+            allocation_resources=tuple(
+                dataclasses.replace(r, unit_price=r.unit_price * multiplier)
+                for r in self.allocation_resources
+            ),
+            usage_resources=tuple(
+                dataclasses.replace(r, unit_price=r.unit_price * multiplier)
+                for r in self.usage_resources
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Introspection helpers used by the catalog / Table 1 bench

@@ -9,6 +9,7 @@ Usage::
     repro-serverless-costs sweep --processes 4 --output sweep.csv
     repro-serverless-costs cluster --fleet-sizes 8,16 --policies best_fit,worst_fit --output cluster.csv
     repro-serverless-costs backpressure --queue-depths 0,8 --policies best_fit,cost_fit --output bp.csv
+    repro-serverless-costs backpressure --feedback on --unordered --processes 4 --output bp_fb.csv
 """
 
 from __future__ import annotations
@@ -143,10 +144,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--host-memory-gb", type=float, default=64.0, help="Memory capacity of each host (GB)"
     )
     cluster_parser.add_argument(
+        "--feedback",
+        choices=("off", "on"),
+        default="off",
+        help=(
+            "Close the state loop: scheduler throttling stretches request latency and "
+            "fleet admission outcomes delay/fail serving (default: off, PR-3 behaviour)"
+        ),
+    )
+    cluster_parser.add_argument(
         "--processes",
         type=int,
         default=None,
         help="Worker processes (default: sequential; -1 uses every core)",
+    )
+    cluster_parser.add_argument(
+        "--unordered",
+        action="store_true",
+        help="Work-stealing pool execution (identical rows, better utilisation on uneven grids)",
     )
     cluster_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
     cluster_parser.add_argument("--output", help="Also write the result rows to this CSV path")
@@ -214,10 +229,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="Skip the co-simulated CPU-bandwidth scheduler engine",
     )
     backpressure_parser.add_argument(
+        "--feedback",
+        choices=("off", "on"),
+        default="off",
+        help=(
+            "Close the state loop: queued cold starts defer sandbox readiness, rejected "
+            "ones fail their requests, throttling stretches latency (default: off)"
+        ),
+    )
+    backpressure_parser.add_argument(
         "--processes",
         type=int,
         default=None,
         help="Worker processes (default: sequential; -1 uses every core)",
+    )
+    backpressure_parser.add_argument(
+        "--unordered",
+        action="store_true",
+        help="Work-stealing pool execution (identical rows, better utilisation on uneven grids)",
     )
     backpressure_parser.add_argument(
         "--seed", type=int, default=2026, help="Base seed for per-run seeds"
@@ -339,9 +368,11 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
                 "duration_s": args.duration_s,
                 "host_vcpus": args.host_vcpus,
                 "host_memory_gb": args.host_memory_gb,
+                "feedback": args.feedback,
             },
             base_seed=args.seed,
             processes=args.processes,
+            ordered=not args.unordered,
         )
     except (KeyError, ValueError) as error:
         print(_error_message(error), file=sys.stderr)
@@ -389,9 +420,11 @@ def _cmd_backpressure(args: "argparse.Namespace") -> int:
                 "rps_per_function": args.rps,
                 "duration_s": args.duration_s,
                 "with_scheduler": not args.no_scheduler,
+                "feedback": args.feedback,
             },
             base_seed=args.seed,
             processes=args.processes,
+            ordered=not args.unordered,
         )
     except (KeyError, ValueError) as error:
         print(_error_message(error), file=sys.stderr)

@@ -31,7 +31,7 @@ costs and fleet utilisation read off as they accrue.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.billing.meter import CostMeter, RequestResources
 from repro.cluster.fleet import Fleet, FleetConfig
@@ -40,6 +40,7 @@ from repro.platform.invoker import PlatformSimulator
 from repro.platform.metrics import SimulationMetrics
 from repro.sched.engine import SchedulerSim, SimulationResult
 from repro.sim.events import EventBus
+from repro.sim.feedback import FeedbackChannel
 from repro.sim.kernel import SimulationKernel
 from repro.sim.rng import derive_seed
 from repro.workloads.traffic import constant_rate_arrivals, poisson_arrivals
@@ -84,14 +85,30 @@ class ClusterResult:
         """One flat row combining request-, fleet-, cost- and scheduler-level outcomes."""
         num_requests = sum(m.num_requests for m in self.metrics.values())
         cold_starts = sum(m.cold_starts for m in self.metrics.values())
+        failed = sum(m.failed_requests for m in self.metrics.values())
         durations: List[float] = []
+        latencies: List[float] = []
+        floor_s = 0.0
         for m in self.metrics.values():
             durations.extend(m.execution_durations_s())
+            latencies.extend(m.end_to_end_latencies_s())
+            floor_s += sum(r.service_floor_s for r in m.requests)
+        latency_s = sum(latencies)
         row: Dict[str, float] = {
             "num_functions": float(len(self.metrics)),
             "num_requests": float(num_requests),
+            "failed_requests": float(failed),
+            "pending_requests": float(
+                sum(m.pending_requests for m in self.metrics.values())
+            ),
             "cold_start_rate": cold_starts / num_requests if num_requests else 0.0,
             "mean_duration_ms": (sum(durations) / len(durations) * 1e3) if durations else 0.0,
+            "mean_latency_ms": (latency_s / len(latencies) * 1e3) if latencies else 0.0,
+            # Aggregate end-to-end latency above the uncontended service
+            # floor: 0 = every request at its floor, 1 = latency doubled.
+            # Cold starts, admission queueing, contention and feedback-layer
+            # throttling all show up here.
+            "latency_inflation": (latency_s - floor_s) / floor_s if floor_s > 0 else 0.0,
         }
         row.update(self.fleet.summary())
         if self.meter is not None:
@@ -133,6 +150,20 @@ class ClusterSimulator:
     then interleave with arrivals, cold starts, fleet placement and billing
     in one deterministic event order.  The run horizon is extended to the
     scheduler's own ``horizon_s`` so it always reaches its standalone result.
+
+    ``feedback`` closes the *state* loop between those layers (the default
+    ``"off"`` byte-reproduces the share-a-clock-only behaviour of every
+    existing entry point).  With ``feedback="on"`` a shared
+    :class:`~repro.sim.feedback.FeedbackChannel` is attached to the cluster
+    bus: the scheduler's throttling stretches request busy times (and
+    therefore the durations the cost meter bills), a queued cold start defers
+    its sandbox's readiness by the measured admission-queue wait, and a
+    rejected cold start fails its pending request -- all visible in the
+    ``failed_requests`` / ``latency_inflation`` summary columns.
+
+    ``price_class_multipliers`` (price class -> unit-price factor) makes the
+    live cost meter invoice each request at the price class of the *host its
+    sandbox landed on*, so heterogeneous multi-zone fleets bill by zone.
     """
 
     def __init__(
@@ -142,30 +173,49 @@ class ClusterSimulator:
         billing_platform: Optional[str] = None,
         scheduler: Optional[SchedulerSim] = None,
         seed: int = 0,
+        feedback: str = "off",
+        price_class_multipliers: Optional[Mapping[str, float]] = None,
     ) -> None:
         if not deployments:
             raise ValueError("a cluster simulation needs at least one deployment")
         names = [d.function.name for d in deployments]
         if len(set(names)) != len(names):
             raise ValueError(f"deployment function names must be unique, got {names}")
+        if feedback not in ("off", "on"):
+            raise ValueError(f"feedback must be 'off' or 'on', got {feedback!r}")
         self.deployments = list(deployments)
         self.seed = seed
         self._ran = False
         self.kernel = SimulationKernel()
         #: The shared bus every simulator forwards its events to.
         self.bus = EventBus()
+        #: The execution-feedback channel (None with feedback="off").
+        self.feedback: Optional[FeedbackChannel] = (
+            FeedbackChannel().attach(self.bus) if feedback == "on" else None
+        )
         self.fleet = Fleet(fleet_config).attach(self.bus)
         if self.fleet.config.sample_interval_s is not None:
             self.kernel.add_process(self.fleet)
         self.meter: Optional[CostMeter] = (
-            CostMeter(billing_platform) if billing_platform is not None else None
+            CostMeter(billing_platform, price_class_multipliers=price_class_multipliers)
+            if billing_platform is not None
+            else None
         )
         if self.meter is not None:
-            # The fleet samples the live invoice next to its own host spend.
+            # The fleet samples the live invoice next to its own host spend;
+            # with zone-aware pricing the meter reads each sandbox's price
+            # class back from the fleet's placements.
             self.fleet.attach_meter(self.meter)
+            if price_class_multipliers is not None:
+                self.meter.attach_fleet(self.fleet)
+            if self.feedback is not None:
+                # Closed loop: a queued sandbox is not on a host until the
+                # fleet admits it, so instance-billed lifespans start at
+                # admission rather than at the cold-start request.
+                self.meter.attach_admissions(self.bus)
         self.scheduler = scheduler
         if scheduler is not None:
-            scheduler.attach(self.kernel)
+            scheduler.attach(self.kernel, feedback=self.feedback)
         self.simulators: Dict[str, PlatformSimulator] = {}
         for deployment in self.deployments:
             name = deployment.function.name
@@ -176,6 +226,7 @@ class ClusterSimulator:
                 bus=self.bus,
                 kernel=self.kernel,
                 name=name,
+                feedback=self.feedback,
             )
             if self.meter is not None:
                 # Per-function attachment: the meter needs each deployment's
@@ -208,6 +259,8 @@ class ClusterSimulator:
         if horizon_s is not None:
             horizon = horizon_s
         self.kernel.run(until=horizon + _EPS)
+        for simulator in self.simulators.values():
+            simulator.metrics.pending_requests = simulator.pending_request_count
         if self.meter is not None:
             self.meter.finalize(horizon)
         return ClusterResult(

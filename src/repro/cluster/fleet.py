@@ -374,6 +374,15 @@ class Fleet:
         placement = self._placements.get(sandbox_name)
         return placement[0] if placement is not None else None
 
+    def price_class_of(self, sandbox_name: str) -> Optional[str]:
+        """The price class of the host a sandbox is placed on (zone-aware billing).
+
+        ``None`` when the sandbox is not currently placed (queued, rejected,
+        or already released) -- the cost meter then bills at base prices.
+        """
+        host = self.host_of(sandbox_name)
+        return host.spec.price_class if host is not None else None
+
     @property
     def num_placed(self) -> int:
         return len(self._placements)

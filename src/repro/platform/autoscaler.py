@@ -41,6 +41,12 @@ class AutoscalerConfig:
             the current capacity, the autoscaler scales on the short window
             immediately instead of the stable window (Knative default 2.0).
             Set to 0 to disable panic mode.
+        admission_queue_weight: how many active requests one sandbox stuck in
+            the fleet's *admission queue* counts as in the scale-up signal.
+            Requires a feedback channel (the queue depth is read from it);
+            ``0`` (the default) ignores admission backpressure entirely.
+            Scale-down keeps its hysteresis: a drained queue only shrinks the
+            pool after ``scale_down_delay_s`` of sustained low demand.
     """
 
     target_cpu_utilization: float = 0.6
@@ -52,6 +58,7 @@ class AutoscalerConfig:
     scale_down_delay_s: float = 60.0
     panic_window_s: float = 6.0
     panic_threshold: float = 2.0
+    admission_queue_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0 < self.target_cpu_utilization <= 1:
@@ -64,6 +71,8 @@ class AutoscalerConfig:
             raise ValueError("invalid instance bounds")
         if self.panic_window_s < 0 or self.panic_threshold < 0:
             raise ValueError("panic parameters must be >= 0")
+        if self.admission_queue_weight < 0:
+            raise ValueError("admission_queue_weight must be >= 0")
 
 
 class Autoscaler:
@@ -81,7 +90,7 @@ class Autoscaler:
         self._samples: Deque[Tuple[float, float, float, int]] = deque()
         self._last_scale_down_candidate: float = 0.0
 
-    def observe(self, now_s: float, active_requests: int, busy_vcpus: float, instances: int) -> None:
+    def observe(self, now_s: float, active_requests: float, busy_vcpus: float, instances: int) -> None:
         """Record one metric sample (the simulator calls this every evaluation tick)."""
         self._samples.append((now_s, float(active_requests), busy_vcpus, max(instances, 0)))
         cutoff = now_s - self.config.metric_window_s

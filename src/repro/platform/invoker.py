@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.platform.config import FunctionConfig, PlatformConfig
-from repro.platform.metrics import RequestOutcome, SimulationMetrics
+from repro.platform.metrics import FailedRequest, RequestOutcome, SimulationMetrics
 from repro.platform.autoscaler import Autoscaler, AutoscalerProcess
 from repro.platform.sandbox import ActiveRequest, Sandbox, SandboxState
 from repro.sim.events import (
@@ -40,12 +40,15 @@ from repro.sim.events import (
     InstanceCountChanged,
     KeepAliveExpired,
     RequestCompleted,
+    RequestFailed,
+    SandboxAdmitted,
     SandboxBusy,
     SandboxColdStart,
     SandboxEvicted,
     SandboxIdle,
     SimEvent,
 )
+from repro.sim.feedback import AdmissionState, FeedbackChannel
 from repro.sim.kernel import Event, SimulationKernel
 
 __all__ = ["PlatformSimulator", "RequestOutcome", "SimulationMetrics"]
@@ -67,6 +70,16 @@ class PlatformSimulator:
     :mod:`repro.cluster.cosim`.  The ``name`` namespaces the simulator's event
     kinds, sandbox names and request ids so co-simulated simulators never
     collide on the shared kernel or bus.
+
+    Pass a :class:`~repro.sim.feedback.FeedbackChannel` to close the state
+    loop with the other layers: the simulator then (a) stretches busy times by
+    the channel's combined service rate (re-read at every admit/completion
+    event, so the CPU-bandwidth scheduler's throttling factor reaches request
+    latency), and (b) gates sandbox readiness on the fleet's admission
+    outcome -- a queued cold start defers ``sandbox_ready`` by its measured
+    queue wait, and a rejected one fails its pending request with a typed
+    :class:`~repro.platform.metrics.FailedRequest`.  Without a channel (the
+    default), behaviour is byte-identical to the pre-feedback simulator.
     """
 
     def __init__(
@@ -77,6 +90,7 @@ class PlatformSimulator:
         bus: Optional[EventBus] = None,
         kernel: Optional[SimulationKernel] = None,
         name: str = "",
+        feedback: Optional[FeedbackChannel] = None,
     ) -> None:
         self.platform = platform
         self.function = function
@@ -100,8 +114,10 @@ class PlatformSimulator:
         # observer: every event is forwarded to it, letting one external bus
         # watch several co-simulated simulators without cross-contaminating
         # their metrics.
+        self._feedback = feedback
         self.bus = EventBus()
         self.bus.subscribe(RequestCompleted, self._record_outcome)
+        self.bus.subscribe(RequestFailed, self._record_failure)
         self.bus.subscribe(InstanceCountChanged, self._record_instances)
         if bus is not None:
             self.bus.subscribe(SimEvent, bus.publish)
@@ -147,7 +163,20 @@ class PlatformSimulator:
         """Simulate the given request arrival times; returns collected metrics."""
         horizon_s = self.schedule_arrivals(arrivals, horizon_s)
         self._kernel.run(until=horizon_s + _EPS)
+        self.metrics.pending_requests = self.pending_request_count
         return self.metrics
+
+    @property
+    def pending_request_count(self) -> int:
+        """Requests admitted to the system but not yet executing anywhere.
+
+        Ingress-queued requests plus requests parked behind a cold-starting
+        sandbox (including sandboxes whose fleet admission is still queued
+        under the feedback layer).  A co-simulation host snapshots this into
+        the metrics when the shared run ends, so backpressure that outlives
+        the horizon is reported instead of silently censored.
+        """
+        return len(self._queue) + sum(len(waiting) for waiting in self._pending_cold.values())
 
     # ------------------------------------------------------------------
     # Event plumbing and instrumentation
@@ -159,6 +188,9 @@ class PlatformSimulator:
 
     def _record_outcome(self, event: RequestCompleted) -> None:
         self.metrics.record(event.outcome)
+
+    def _record_failure(self, event: RequestFailed) -> None:
+        self.metrics.record_failure(event.outcome)
 
     def _record_instances(self, event: InstanceCountChanged) -> None:
         self.metrics.record_instances(event.time_s, event.count)
@@ -190,6 +222,14 @@ class PlatformSimulator:
             # request; multi-concurrency platforms also cold-start when scaled
             # to zero.
             sandbox = self._create_sandbox()
+            if sandbox.state is SandboxState.TERMINATED:
+                # The feedback layer reported the fleet rejected this sandbox's
+                # admission; the request it was provisioned for fails instead
+                # of waiting for a readiness that will never come.
+                self._fail_request(
+                    request_id, arrival_s, reason="admission_rejected", sandbox_name=sandbox.name
+                )
+                return
             self._pending_cold.setdefault(sandbox.name, []).append((arrival_s, request_id))
             return
         # Multi-concurrency: all instances are at their concurrency limit; the
@@ -229,7 +269,10 @@ class PlatformSimulator:
         )
         self._sandboxes[sandbox.name] = sandbox
         self._completion_version[sandbox.name] = 0
-        self._kernel.schedule_in(init_duration, self._kind("sandbox_ready"), {"sandbox": sandbox.name})
+        if self._feedback is None:
+            self._kernel.schedule_in(
+                init_duration, self._kind("sandbox_ready"), {"sandbox": sandbox.name}
+            )
         self.bus.publish(
             SandboxColdStart(
                 self._now,
@@ -240,8 +283,72 @@ class PlatformSimulator:
                 init_duration_s=init_duration,
             )
         )
+        if self._feedback is not None:
+            # The fleet (subscribed downstream of the publish above) has
+            # synchronously decided this sandbox's admission by now; gate
+            # readiness on the outcome instead of scheduling it blindly.
+            self._resolve_admission(sandbox)
         self._publish_instance_count()
         return sandbox
+
+    def _resolve_admission(self, sandbox: Sandbox) -> None:
+        """Schedule, defer, or abort ``sandbox_ready`` from the fleet's decision."""
+        state = self._feedback.admission_state(sandbox.name)
+        if state is AdmissionState.QUEUED:
+            # Initialisation cannot start until the sandbox lands on a host;
+            # readiness is scheduled from the admission callback instead, so
+            # the measured queue wait shifts `sandbox_ready` one-for-one.
+            self._feedback.gate_readiness(sandbox.name, self._on_admission_resolved)
+            return
+        if state is AdmissionState.REJECTED:
+            self._abort_sandbox(sandbox)
+            return
+        # ADMITTED, or None when no admission-publishing fleet is attached.
+        self._kernel.schedule_in(
+            sandbox.init_duration_s, self._kind("sandbox_ready"), {"sandbox": sandbox.name}
+        )
+
+    def _on_admission_resolved(self, event: SimEvent) -> None:
+        """Feedback-channel callback: a queued sandbox was admitted or rejected."""
+        name = event.sandbox_name  # type: ignore[attr-defined]
+        sandbox = self._sandboxes.get(name)
+        if sandbox is None or sandbox.state is not SandboxState.INITIALIZING:
+            return
+        if isinstance(event, SandboxAdmitted):
+            self._kernel.schedule_in(
+                sandbox.init_duration_s, self._kind("sandbox_ready"), {"sandbox": name}
+            )
+            return
+        # Late rejection of a queued sandbox.  The stock fleet only rejects at
+        # admission time (before any gate exists), but the channel contract
+        # allows a fleet to time queue entries out, so the platform must
+        # handle it: tear the sandbox down, fail everything waiting on it.
+        waiting = self._pending_cold.pop(name, [])
+        self._abort_sandbox(sandbox)
+        for arrival_s, request_id in waiting:
+            self._fail_request(request_id, arrival_s, reason="admission_rejected", sandbox_name=name)
+        self._publish_instance_count()
+
+    def _abort_sandbox(self, sandbox: Sandbox) -> None:
+        """Tear down a sandbox whose fleet admission was rejected."""
+        sandbox.terminate(self._now)
+        self.bus.publish(SandboxEvicted(self._now, sandbox.name, reason="admission_rejected"))
+
+    def _fail_request(
+        self, request_id: str, arrival_s: float, reason: str, sandbox_name: str = ""
+    ) -> None:
+        self.bus.publish(
+            RequestFailed(
+                self._now,
+                FailedRequest(
+                    request_id=request_id,
+                    arrival_s=arrival_s,
+                    failed_s=self._now,
+                    reason=reason,
+                    sandbox_name=sandbox_name,
+                ),
+            )
+        )
 
     def _handle_sandbox_ready(self, event: Event) -> None:
         sandbox = self._sandboxes[event.data["sandbox"]]
@@ -269,9 +376,23 @@ class PlatformSimulator:
         )
         was_busy = sandbox.state is SandboxState.BUSY
         sandbox.admit(request, self._now)
+        self._refresh_rate_factor(sandbox)
         if not was_busy:
             self.bus.publish(SandboxBusy(self._now, sandbox.name, sandbox.concurrency))
         self._schedule_completion_check(sandbox)
+
+    def _refresh_rate_factor(self, sandbox: Sandbox) -> None:
+        """Re-read the feedback channel's combined slowdown at event-schedule time.
+
+        Called *after* the sandbox advanced its requests to ``now`` (so the
+        interval just closed used the factor it was scheduled under) and
+        *before* the next completion check is scheduled (so the projection and
+        the eventual :meth:`Sandbox.advance` agree on the new rate).  Without
+        a channel the factor stays at exactly ``1.0`` -- the float-identical
+        pre-feedback behaviour.
+        """
+        if self._feedback is not None:
+            sandbox.rate_factor = self._feedback.service_rate(self._now)
 
     # ------------------------------------------------------------------
     # Completion handling
@@ -315,12 +436,14 @@ class PlatformSimulator:
                         init_duration_s=request.init_wait_s,
                         queue_delay_s=max(exec_start - request.arrival_s - request.init_wait_s, 0.0),
                         sandbox_name=sandbox.name,
+                        service_floor_s=self.function.service_time_s + request.overhead_s,
                     ),
                 )
             )
         if finished:
             self._drain_queue()
             self._maybe_schedule_keepalive(sandbox)
+        self._refresh_rate_factor(sandbox)
         self._schedule_completion_check(sandbox)
 
     def _drain_queue(self) -> None:
@@ -368,7 +491,17 @@ class PlatformSimulator:
         if self._autoscaler is None:
             return
         alive = self._alive_sandboxes()
-        active_requests = sum(s.concurrency for s in alive) + len(self._queue)
+        active_requests: float = sum(s.concurrency for s in alive) + len(self._queue)
+        queue_weight = self._autoscaler.config.admission_queue_weight
+        if self._feedback is not None and queue_weight > 0:
+            # Queue-aware autoscaling: cold starts stuck in the fleet's
+            # admission queue are demand the concurrency/CPU metrics cannot
+            # see (their requests are parked in _pending_cold, not executing).
+            # Weigh the simulator's own share of the admission queue into the
+            # scale-up signal so the autoscaler reacts to backpressure.
+            active_requests += queue_weight * self._feedback.admission_queue_depth(
+                self._id_prefix
+            )
         busy_vcpus = sum(
             min(float(s.concurrency), s.alloc_vcpus) for s in alive if s.state is SandboxState.BUSY
         )

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RequestOutcome", "SimulationMetrics"]
+__all__ = ["FailedRequest", "RequestOutcome", "SimulationMetrics"]
 
 
 @dataclass(frozen=True)
@@ -23,6 +23,12 @@ class RequestOutcome:
     init_duration_s: float
     queue_delay_s: float
     sandbox_name: str
+    #: Uncontended, unthrottled floor of this request's execution duration
+    #: (serving overhead + CPU at full allocation + IO).  Everything above it
+    #: -- contention, scheduler throttling via the feedback layer, sandbox
+    #: queueing -- is latency inflation.  ``0`` on records that predate the
+    #: feedback layer (old pickles / hand-built outcomes).
+    service_floor_s: float = 0.0
 
     @property
     def end_to_end_latency_s(self) -> float:
@@ -34,11 +40,40 @@ class RequestOutcome:
         return self.init_duration_s + self.execution_duration_s
 
 
+@dataclass(frozen=True)
+class FailedRequest:
+    """A request the platform gave up on (it never started executing).
+
+    Produced when the execution-feedback layer reports that the fleet
+    *rejected* the cold-started sandbox the request was waiting on -- the
+    admission outcome the paper's backpressure arguments say must surface in
+    user-visible failure rates rather than disappear at the placement layer.
+    """
+
+    request_id: str
+    arrival_s: float
+    failed_s: float
+    reason: str
+    sandbox_name: str = ""
+
+    @property
+    def waiting_s(self) -> float:
+        """How long the request waited before the platform failed it."""
+        return self.failed_s - self.arrival_s
+
+
 @dataclass
 class SimulationMetrics:
     """Aggregated output of one platform simulation."""
 
     requests: List[RequestOutcome] = field(default_factory=list)
+    #: Requests the platform failed (rejected sandbox admission), in order.
+    failures: List[FailedRequest] = field(default_factory=list)
+    #: Requests still waiting when the run ended: parked at the ingress queue
+    #: or behind a sandbox whose admission never resolved (backpressure that
+    #: outlived the horizon).  Neither completed nor failed -- censored --
+    #: but they must not vanish from a saturated run's accounting.
+    pending_requests: int = 0
     #: (time, instance count) samples over the simulation.
     instance_timeline: List[Tuple[float, int]] = field(default_factory=list)
     cold_starts: int = 0
@@ -47,6 +82,9 @@ class SimulationMetrics:
         self.requests.append(outcome)
         if outcome.cold_start:
             self.cold_starts += 1
+
+    def record_failure(self, failure: FailedRequest) -> None:
+        self.failures.append(failure)
 
     def record_instances(self, now_s: float, count: int) -> None:
         self.instance_timeline.append((now_s, count))
@@ -59,8 +97,37 @@ class SimulationMetrics:
     def num_requests(self) -> int:
         return len(self.requests)
 
+    @property
+    def failed_requests(self) -> int:
+        return len(self.failures)
+
     def execution_durations_s(self) -> List[float]:
         return [r.execution_duration_s for r in self.requests]
+
+    def end_to_end_latencies_s(self) -> List[float]:
+        return [r.end_to_end_latency_s for r in self.requests]
+
+    def mean_end_to_end_latency_s(self) -> float:
+        latencies = self.end_to_end_latencies_s()
+        return float(np.mean(latencies)) if latencies else float("nan")
+
+    def latency_inflation(self) -> float:
+        """Aggregate latency above the uncontended service floor, as a ratio.
+
+        ``(sum of end-to-end latencies - sum of service floors) / sum of
+        floors``: ``0`` means every request completed at its floor, ``1``
+        means latency doubled.  Cold-start waits, sandbox queueing, contention
+        and feedback-layer throttling all inflate it.  ``NaN`` with no
+        completed requests; ``0`` when floors were not recorded (pre-feedback
+        outcome records).
+        """
+        if not self.requests:
+            return float("nan")
+        floor = sum(r.service_floor_s for r in self.requests)
+        if floor <= 0:
+            return 0.0
+        latency = sum(r.end_to_end_latency_s for r in self.requests)
+        return (latency - floor) / floor
 
     def mean_execution_duration_s(self) -> float:
         durations = self.execution_durations_s()
@@ -110,7 +177,11 @@ class SimulationMetrics:
     def summary(self) -> Dict[str, float]:
         durations = self.execution_durations_s()
         if not durations:
-            return {"num_requests": 0.0}
+            return {
+                "num_requests": 0.0,
+                "failed_requests": float(self.failed_requests),
+                "pending_requests": float(self.pending_requests),
+            }
         return {
             "num_requests": float(len(durations)),
             "mean_execution_duration_s": float(np.mean(durations)),
@@ -118,4 +189,8 @@ class SimulationMetrics:
             "p95_execution_duration_s": float(np.quantile(durations, 0.95)),
             "cold_start_rate": self.cold_start_rate(),
             "max_instances": float(self.max_instances()),
+            "failed_requests": float(self.failed_requests),
+            "pending_requests": float(self.pending_requests),
+            "mean_latency_s": self.mean_end_to_end_latency_s(),
+            "latency_inflation": self.latency_inflation(),
         }

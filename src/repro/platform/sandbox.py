@@ -65,6 +65,13 @@ class Sandbox:
     name: str = field(default="")
 
     state: SandboxState = field(default=SandboxState.INITIALIZING, init=False)
+    #: Execution-rate factor in (0, 1] applied on top of the contention model.
+    #: The platform simulator re-reads it from the feedback channel at every
+    #: admit/completion event; between events it is piecewise-constant, so
+    #: scheduled completion projections stay consistent with :meth:`advance`.
+    #: ``1.0`` (the default, and the only value with feedback off) leaves
+    #: progress float-exactly unchanged.
+    rate_factor: float = field(default=1.0, init=False)
     ready_s: float = field(default=0.0, init=False)
     last_busy_s: float = field(default=0.0, init=False)
     keep_alive_deadline_s: float = field(default=float("inf"), init=False)
@@ -125,7 +132,7 @@ class Sandbox:
         if elapsed <= 0 or not self.executing:
             return
         n = len(self.executing)
-        rate = self.contention.per_request_rate(n, self.alloc_vcpus)
+        rate = self.contention.per_request_rate(n, self.alloc_vcpus) * self.rate_factor
         for request in self.executing.values():
             if request.remaining_cpu_s > 0:
                 consumed = min(request.remaining_cpu_s, elapsed * rate)
@@ -175,7 +182,7 @@ class Sandbox:
         if not self.executing:
             return None
         n = len(self.executing)
-        rate = self.contention.per_request_rate(n, self.alloc_vcpus)
+        rate = self.contention.per_request_rate(n, self.alloc_vcpus) * self.rate_factor
         best: Optional[float] = None
         for request in self.executing.values():
             if request.remaining_cpu_s > _EPS:

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.sched.cgroup import BandwidthConfig, BandwidthController
 from repro.sched.policies import PolicyParameters, SchedulingPolicy, max_burst_s, pick_next
 from repro.sched.task import PhaseKind, SimTask, TaskState
+from repro.sim.feedback import FeedbackChannel, PublishedRate
 from repro.sim.kernel import SimulationKernel
 
 __all__ = ["QuotaEnforcement", "SchedulerConfig", "SchedulerSim", "SimulationResult", "TaskResult"]
@@ -165,6 +166,14 @@ class SchedulerSim:
         # Tasks currently waiting because their CPU is throttled, with the time
         # they stopped running (for throttle segment bookkeeping).
         self._throttle_wait_since: Dict[str, float] = {}
+        # Execution-feedback publication (attach(..., feedback=...)): the
+        # engine accumulates delivered vs demanded CPU time per bandwidth
+        # period and publishes the ratio as a piecewise-constant service-rate
+        # factor the platform layer stretches busy times by.
+        self._fb_rate: Optional[PublishedRate] = None
+        self._fb_delivered_s = 0.0
+        self._fb_demanded_s = 0.0
+        self._fb_quiesced = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -202,7 +211,12 @@ class SchedulerSim:
         self._close_open_segments()
         return self._collect()
 
-    def attach(self, kernel: SimulationKernel) -> "SchedulerSim":
+    def attach(
+        self,
+        kernel: SimulationKernel,
+        feedback: Optional[FeedbackChannel] = None,
+        feedback_key: str = "sched",
+    ) -> "SchedulerSim":
         """Register this engine as a polled process on a *shared* kernel.
 
         This is how scheduler decisions (cgroup throttling, tick accounting,
@@ -213,11 +227,25 @@ class SchedulerSim:
         every task is done) the engine reports nothing pending, so it never
         keeps the cluster loop alive.  After the kernel run, call
         :meth:`finalize` to close open run segments and collect results.
+
+        With a ``feedback`` channel, the engine closes the state loop the
+        shared clock alone cannot: at every bandwidth-period boundary it
+        publishes the period's *effective-bandwidth factor* -- CPU time
+        actually delivered over CPU time the runnable tasks demanded (time
+        running plus time parked throttled) -- under ``feedback_key``.  The
+        platform layer reads the combined factor at event-schedule time and
+        stretches request busy times by it, so cgroup throttling becomes
+        visible in end-to-end latency and in the (stretched) durations the
+        cost meter bills.  Once the engine goes quiet (horizon passed or all
+        tasks done) it publishes ``1.0`` so it stops slowing anyone down.
         """
         if self._attached or self._kernel is not None:
             raise RuntimeError("engine already attached to a kernel (or already run)")
         self._attached = True
         self._kernel = kernel
+        if feedback is not None:
+            self._fb_rate = PublishedRate()
+            feedback.set_modifier(feedback_key, self._fb_rate)
         kernel.add_process(self)
         return self
 
@@ -233,6 +261,7 @@ class SchedulerSim:
             if not all(t.is_done for t in self.tasks):
                 self._advance_running(max(self._now, self.config.horizon_s))
             self._close_open_segments()
+            self._quiesce_feedback(self._now)
         return self._collect()
 
     # -- repro.sim.kernel.SimProcess protocol --------------------------
@@ -248,6 +277,8 @@ class SchedulerSim:
             return None
         next_time = self._next_event_time()
         if next_time is None or next_time > self.config.horizon_s:
+            # Quiet for good: stop throttling the platform layer too.
+            self._quiesce_feedback(now)
             return None
         return next_time
 
@@ -330,6 +361,14 @@ class SchedulerSim:
             task.cpu_consumed_s += consumed
             task.vruntime += consumed / task.weight
             cpu.unaccounted += consumed
+            if self._fb_rate is not None:
+                # A running task both demanded and received `consumed` (it
+                # stops demanding once its compute phase ends mid-interval).
+                self._fb_delivered_s += consumed
+                self._fb_demanded_s += consumed
+        if self._fb_rate is not None and self._throttle_wait_since:
+            # Throttled tasks demanded the whole interval but received none.
+            self._fb_demanded_s += delta * len(self._throttle_wait_since)
         self._now = new_time
 
     # ------------------------------------------------------------------
@@ -372,6 +411,7 @@ class SchedulerSim:
         if self.config.bandwidth.enabled and self._on_grid(
             self.config.period_phase_s, self.config.bandwidth.period_s
         ):
+            self._publish_feedback(now)
             unthrottled = self.controller.refill(now)
             for cpu_id in unthrottled:
                 for task in self._runqueues[cpu_id]:
@@ -440,6 +480,33 @@ class SchedulerSim:
         cpu_id = self._affinity[task.name]
         if task not in self._runqueues[cpu_id]:
             self._runqueues[cpu_id].append(task)
+
+    # ------------------------------------------------------------------
+    # Execution-feedback publication
+    # ------------------------------------------------------------------
+
+    def _publish_feedback(self, now: float) -> None:
+        """Close the current accounting window and publish its bandwidth factor.
+
+        Called at each period boundary: the factor is delivered CPU time over
+        demanded CPU time since the previous boundary.  An idle window (no
+        demand at all) publishes ``1.0`` -- nothing was slowed down.
+        """
+        if self._fb_rate is None:
+            return
+        if self._fb_demanded_s > _EPS:
+            factor = min(self._fb_delivered_s / self._fb_demanded_s, 1.0)
+        else:
+            factor = 1.0
+        self._fb_rate.publish(now, factor)
+        self._fb_delivered_s = 0.0
+        self._fb_demanded_s = 0.0
+
+    def _quiesce_feedback(self, now: float) -> None:
+        """Publish full speed once the engine has nothing left to simulate."""
+        if self._fb_rate is not None and not self._fb_quiesced:
+            self._fb_quiesced = True
+            self._fb_rate.publish(now, 1.0)
 
     # ------------------------------------------------------------------
     # Accounting, throttling, and dispatch

@@ -15,6 +15,12 @@ scheduler (`repro.sched.engine`) into one reusable layer:
 - :mod:`repro.sim.rng` -- named, seed-derived random streams
   (``numpy.random.Generator`` per stream) so adding a subscriber or reordering
   consumers never perturbs another component's randomness.
+- :mod:`repro.sim.feedback` -- the execution-feedback layer: a
+  :class:`~repro.sim.feedback.FeedbackChannel` components publish slowdown
+  factors (``ServiceTimeModifier``) and admission/readiness gates into, so
+  co-simulated layers share *state* (scheduler throttling stretches request
+  service times, fleet admission outcomes delay or fail serving) and not just
+  a clock.  Resolved deterministically at event-schedule time.
 - :mod:`repro.sim.sweep` / :mod:`repro.sim.results` -- a scenario-sweep
   orchestrator that fans a grid of (platform x workload x config) runs out
   across processes with per-run derived seeds, and the structured result
@@ -31,6 +37,7 @@ from repro.sim.events import (
     InstanceCountChanged,
     KeepAliveExpired,
     RequestCompleted,
+    RequestFailed,
     SandboxBusy,
     SandboxColdStart,
     SandboxEvicted,
@@ -39,18 +46,29 @@ from repro.sim.events import (
     SandboxTerminated,
     SimEvent,
 )
+from repro.sim.feedback import (
+    AdmissionState,
+    FeedbackChannel,
+    PublishedRate,
+    ServiceTimeModifier,
+    StaticSlowdown,
+)
 from repro.sim.kernel import Event, PeriodicProcess, SimulationKernel, SimProcess
 from repro.sim.results import ResultStore
 from repro.sim.rng import RngStreams, derive_seed, named_generator
 from repro.sim.sweep import Scenario, build_grid, run_scenario, run_sweep
 
 __all__ = [
+    "AdmissionState",
     "Event",
     "EventBus",
+    "FeedbackChannel",
     "InstanceCountChanged",
     "KeepAliveExpired",
     "PeriodicProcess",
+    "PublishedRate",
     "RequestCompleted",
+    "RequestFailed",
     "ResultStore",
     "RngStreams",
     "SandboxBusy",
@@ -60,9 +78,11 @@ __all__ = [
     "SandboxProvisioned",
     "SandboxTerminated",
     "Scenario",
+    "ServiceTimeModifier",
     "SimEvent",
     "SimProcess",
     "SimulationKernel",
+    "StaticSlowdown",
     "build_grid",
     "derive_seed",
     "named_generator",

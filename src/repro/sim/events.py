@@ -26,6 +26,7 @@ __all__ = [
     "InstanceCountChanged",
     "KeepAliveExpired",
     "RequestCompleted",
+    "RequestFailed",
     "SandboxAdmitted",
     "SandboxBusy",
     "SandboxColdStart",
@@ -49,6 +50,21 @@ class SimEvent:
 @dataclass(frozen=True)
 class RequestCompleted(SimEvent):
     """A request finished; ``outcome`` is the domain-level outcome record."""
+
+    outcome: Any
+
+
+@dataclass(frozen=True)
+class RequestFailed(SimEvent):
+    """A request will never be served; ``outcome`` is the failure record.
+
+    Published by the platform simulator when the execution-feedback layer
+    reports that the fleet rejected the cold-started sandbox the request was
+    waiting on (admission backpressure with a full or disabled queue).  The
+    payload is a :class:`repro.platform.metrics.FailedRequest`-shaped record
+    (request id, arrival, failure time, reason) -- loosely typed here because
+    the bus sits below the domain layers.
+    """
 
     outcome: Any
 

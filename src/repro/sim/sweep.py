@@ -24,7 +24,7 @@ import importlib
 import itertools
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.sim.results import ResultStore
 from repro.sim.rng import derive_seed
@@ -107,10 +107,19 @@ def build_grid(
     return scenarios
 
 
+def _run_indexed_scenario(
+    indexed: "Tuple[int, Scenario]",
+) -> "Tuple[int, List[Dict[str, object]]]":
+    """Worker shim for unordered pools: tag each result with its grid index."""
+    index, scenario = indexed
+    return index, run_scenario(scenario)
+
+
 def run_sweep(
     scenarios: Sequence[Scenario],
     processes: Optional[int] = None,
     store: Optional[ResultStore] = None,
+    ordered: bool = True,
 ) -> ResultStore:
     """Run all scenarios and collect their rows, in scenario order.
 
@@ -119,6 +128,15 @@ def run_sweep(
     every available core.  Results are identical either way because each
     scenario is self-contained (runner path + params + seed) and rows are
     collected in submission order.
+
+    ``ordered=False`` switches the pool to work-stealing execution
+    (``imap_unordered``): workers pull the next scenario the moment they
+    finish their current one, so a heterogeneous grid -- a few expensive
+    co-simulations among many cheap points -- no longer leaves workers idle
+    behind ``pool.map``'s fixed chunking.  Completed results carry their grid
+    index and are collected *post hoc* into scenario order, so the resulting
+    :class:`ResultStore` (and any CSV written from it) is byte-identical to
+    the ordered mode.
     """
     store = store if store is not None else ResultStore()
     if processes is not None and processes < 0:
@@ -128,8 +146,17 @@ def run_sweep(
             store.extend(run_scenario(scenario))
         return store
     with multiprocessing.Pool(processes=min(processes, len(scenarios))) as pool:
-        for rows in pool.map(run_scenario, list(scenarios), chunksize=1):
-            store.extend(rows)
+        if ordered:
+            for rows in pool.map(run_scenario, list(scenarios), chunksize=1):
+                store.extend(rows)
+        else:
+            collected: List[Optional[List[Dict[str, object]]]] = [None] * len(scenarios)
+            for index, rows in pool.imap_unordered(
+                _run_indexed_scenario, list(enumerate(scenarios)), chunksize=1
+            ):
+                collected[index] = rows
+            for rows in collected:
+                store.extend(rows or [])
     return store
 
 

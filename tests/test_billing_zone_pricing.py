@@ -1,0 +1,193 @@
+"""Zone-aware pricing: per-price_class multipliers through catalog, meter, fleet.
+
+Heterogeneous multi-zone fleets (PR 3) gave hosts a ``price_class``; this
+suite covers the billing side: scaling a catalog model's unit prices by a
+price-class multiplier (:meth:`BillingModel.with_price_multiplier` /
+:func:`get_billing_model`), and the :class:`CostMeter` invoicing each request
+at the price class of the host its sandbox landed on.
+
+The multi-zone cluster scenario is pinned as a golden file
+(``tests/golden/zones/multi_zone_invoice.json``, float-exact like the Table-1
+goldens).  Regenerate after an *intentional* billing change with::
+
+    PYTHONPATH=src python tests/test_billing_zone_pricing.py
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.billing.catalog import get_billing_model
+from repro.billing.meter import CostMeter
+from repro.billing.units import ResourceKind
+from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+from repro.cluster.fleet import FleetConfig, ZoneConfig
+from repro.cluster.host import HostSpec
+from repro.cluster.placement import PlacementPolicy
+from repro.platform.presets import get_platform_preset
+from repro.workloads.functions import PYAES_FUNCTION
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "zones" / "multi_zone_invoice.json"
+
+MULTIPLIERS = {"economy": 0.8, "premium": 1.5}
+
+
+# ----------------------------------------------------------------------
+# Model / catalog units
+# ----------------------------------------------------------------------
+
+
+class TestPriceMultiplier:
+    def test_scales_resource_prices_but_not_the_invocation_fee(self):
+        base = get_billing_model("gcp_run_request")
+        scaled = base.with_price_multiplier(1.5)
+        for before, after in zip(base.allocation_resources, scaled.allocation_resources):
+            assert after.unit_price == before.unit_price * 1.5
+        assert scaled.invocation_fee == base.invocation_fee
+
+    def test_identity_multiplier_returns_the_same_object(self):
+        base = get_billing_model("aws_lambda")
+        assert base.with_price_multiplier(1.0) is base
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            get_billing_model("aws_lambda").with_price_multiplier(-0.1)
+
+    def test_invoice_scales_linearly_in_the_multiplier(self):
+        base = get_billing_model("gcp_run_request")
+        scaled = base.with_price_multiplier(2.0)
+        kwargs = dict(
+            execution_s=1.0,
+            allocations={ResourceKind.CPU: 1.0, ResourceKind.MEMORY: 2.0},
+            include_invocation_fee=False,
+        )
+        assert scaled.invoice(**kwargs).total == pytest.approx(2.0 * base.invoice(**kwargs).total)
+
+    def test_catalog_lookup_applies_the_class_multiplier(self):
+        base = get_billing_model("gcp_run_request")
+        premium = get_billing_model(
+            "gcp_run_request", price_class="premium", price_class_multipliers=MULTIPLIERS
+        )
+        unknown = get_billing_model(
+            "gcp_run_request", price_class="mystery", price_class_multipliers=MULTIPLIERS
+        )
+        assert premium.allocation_resources[0].unit_price == (
+            base.allocation_resources[0].unit_price * 1.5
+        )
+        assert unknown is base  # unmapped classes bill at list prices
+
+
+# ----------------------------------------------------------------------
+# Multi-zone cluster scenario (golden)
+# ----------------------------------------------------------------------
+
+
+def _multi_zone_invoice() -> dict:
+    """One frozen two-zone COST_FIT co-simulation, invoiced by zone."""
+    preset = get_platform_preset("gcp_run_like")
+    deployments = []
+    # Mixed demand: small functions the cheap zone absorbs, big ones only the
+    # premium zone's larger hosts can hold.
+    for index, vcpus in enumerate((1.0, 1.0, 4.0, 4.0)):
+        function = PYAES_FUNCTION.to_function_config(vcpus, vcpus * 2.0, init_duration_s=0.5)
+        function = dataclasses.replace(function, name=f"fn-{index:02d}")
+        deployments.append(
+            FunctionDeployment(function=function, platform=preset, rps=2.0, duration_s=10.0)
+        )
+    economy = HostSpec(vcpus=2.0, memory_gb=4.0, price_class="economy")
+    premium = HostSpec(
+        vcpus=8.0,
+        memory_gb=16.0,
+        hourly_cost_usd=economy.hourly_cost_usd * 5.0,
+        price_class="premium",
+    )
+    simulator = ClusterSimulator(
+        deployments,
+        fleet_config=FleetConfig(
+            policy=PlacementPolicy.COST_FIT,
+            zones=(
+                ZoneConfig(name="economy", host_spec=economy, max_hosts=4),
+                ZoneConfig(name="premium", host_spec=premium, max_hosts=4),
+            ),
+            sample_interval_s=5.0,
+        ),
+        billing_platform="gcp_run_request",
+        seed=20260730,
+        price_class_multipliers=MULTIPLIERS,
+    )
+    result = simulator.run()
+    meter = result.meter
+    return {
+        "num_requests": meter.num_requests,
+        "cost_usd": meter.cost_usd,
+        "cost_usd_by_class": dict(sorted(meter.cost_usd_by_class.items())),
+        "billable_cpu_seconds": meter.billable_cpu_seconds,
+        "billable_memory_gb_seconds": meter.billable_memory_gb_seconds,
+        "invocation_fee_usd": meter.invocation_fee_usd,
+    }
+
+
+class TestMultiZoneInvoice:
+    def test_both_zones_appear_on_the_invoice(self):
+        invoice = _multi_zone_invoice()
+        assert invoice["cost_usd_by_class"].get("economy", 0.0) > 0
+        assert invoice["cost_usd_by_class"].get("premium", 0.0) > 0
+        assert sum(invoice["cost_usd_by_class"].values()) == pytest.approx(invoice["cost_usd"])
+
+    def test_matches_golden_float_exact(self):
+        assert GOLDEN_PATH.exists(), (
+            f"missing golden file {GOLDEN_PATH}; regenerate with "
+            "'PYTHONPATH=src python tests/test_billing_zone_pricing.py'"
+        )
+        assert _multi_zone_invoice() == json.loads(GOLDEN_PATH.read_text())
+
+    def test_identity_multipliers_bill_exactly_like_no_multipliers(self):
+        """Float-exact guard: flat multipliers must not perturb invoices."""
+        preset = get_platform_preset("gcp_run_like")
+        function = dataclasses.replace(
+            PYAES_FUNCTION.to_function_config(1.0, 2.0, init_duration_s=0.5), name="fn-00"
+        )
+        deployments = [
+            FunctionDeployment(function=function, platform=preset, rps=3.0, duration_s=8.0)
+        ]
+
+        def run(multipliers):
+            simulator = ClusterSimulator(
+                deployments,
+                billing_platform="gcp_run_request",
+                seed=5,
+                price_class_multipliers=multipliers,
+            )
+            return simulator.run().meter.cost_usd
+
+        assert run({"standard": 1.0}) == run(None)
+
+
+def regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_multi_zone_invoice(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()
+
+
+# Keep CostMeter importable-name coverage honest: the attach_fleet duck-type
+# contract is exercised above via ClusterSimulator; this guards the direct API.
+def test_attach_fleet_resolves_price_class_via_duck_typing():
+    class FakeFleet:
+        def price_class_of(self, sandbox_name):
+            return "premium" if sandbox_name.startswith("big/") else "economy"
+
+    meter = CostMeter("gcp_run_request", price_class_multipliers=MULTIPLIERS)
+    meter.attach_fleet(FakeFleet())
+    assert meter._resolve_price_class("big/sandbox-0") == "premium"
+    assert meter._resolve_price_class("small/sandbox-0") == "economy"
+    premium = meter._calculator_for("premium").model
+    assert premium.allocation_resources[0].unit_price == (
+        meter.model.allocation_resources[0].unit_price * 1.5
+    )
+    assert meter._calculator_for("unknown") is meter.calculator

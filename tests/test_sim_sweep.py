@@ -148,6 +148,50 @@ class TestParallelSweep:
         assert figure10_allocation_sweep(**kwargs) == figure10_allocation_sweep(processes=2, **kwargs)
 
 
+class TestWorkStealingSweep:
+    """run_sweep(ordered=False): imap_unordered with order-stable collection."""
+
+    @pytest.fixture(scope="class")
+    def heterogeneous_grid(self):
+        # Deliberately uneven point costs (rps and duration vary 10x) so the
+        # unordered pool genuinely completes scenarios out of order.
+        grid = []
+        for duration in (2.0, 20.0):
+            grid.extend(
+                build_grid(
+                    runner="repro.sim.sweep:platform_point",
+                    axes={
+                        "platform": ["aws_lambda_like", "gcp_run_like"],
+                        "rps": [1.0, 10.0],
+                    },
+                    common={"workload": "minimal", "duration_s": duration},
+                    base_seed=int(duration),
+                )
+            )
+        return grid
+
+    def test_unordered_csv_is_byte_identical_to_ordered(self, heterogeneous_grid, tmp_path):
+        ordered = run_sweep(heterogeneous_grid, processes=2, ordered=True)
+        unordered = run_sweep(heterogeneous_grid, processes=2, ordered=False)
+        assert ordered == unordered
+        ordered_path, unordered_path = tmp_path / "ordered.csv", tmp_path / "unordered.csv"
+        ordered.to_csv(str(ordered_path))
+        unordered.to_csv(str(unordered_path))
+        assert ordered_path.read_bytes() == unordered_path.read_bytes()
+
+    def test_unordered_sequential_fallback_matches(self, heterogeneous_grid):
+        # Without a pool, ordered is the only execution shape; the flag must
+        # not change results there either.
+        assert run_sweep(heterogeneous_grid, ordered=False) == run_sweep(heterogeneous_grid)
+
+    def test_worker_shim_tags_results_with_the_grid_index(self, heterogeneous_grid):
+        from repro.sim.sweep import _run_indexed_scenario, run_scenario
+
+        index, rows = _run_indexed_scenario((3, heterogeneous_grid[3]))
+        assert index == 3
+        assert rows == run_scenario(heterogeneous_grid[3])
+
+
 class TestResultStore:
     @pytest.fixture()
     def store(self):
