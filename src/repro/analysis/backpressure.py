@@ -25,7 +25,13 @@ from repro.sim.results import ResultStore
 from repro.sim.rng import named_generator
 from repro.sim.sweep import build_grid, run_sweep
 
-__all__ = ["backpressure_point", "backpressure_sweep", "DEFAULT_AXES"]
+__all__ = [
+    "backpressure_point",
+    "backpressure_sweep",
+    "retry_amplification_sweep",
+    "DEFAULT_AXES",
+    "RETRY_AXES",
+]
 
 #: Default sweep axes: admission-queue bound x placement policy x fleet
 #: heterogeneity ("homogeneous" = one zone, "two_tier" = a cheap economy
@@ -34,6 +40,19 @@ DEFAULT_AXES: Dict[str, Sequence[object]] = {
     "queue_depth": (0, 4, 32),
     "placement_policy": ("best_fit", "cost_fit"),
     "heterogeneity": ("homogeneous", "two_tier"),
+}
+
+#: Retry-amplification axes: the same capacity-bound points with client
+#: retries off vs on, so the ``retry_amplification`` column isolates how much
+#: extra load failed-and-retried requests push back into the fleet at each
+#: queue bound.  Meant to run with ``feedback="on"`` (see
+#: :func:`retry_amplification_sweep`): without the closed loop nothing fails,
+#: so nothing retries.
+RETRY_AXES: Dict[str, Sequence[object]] = {
+    "queue_depth": (0, 4),
+    "placement_policy": ("best_fit",),
+    "heterogeneity": ("homogeneous",),
+    "retry": ("off", "on"),
 }
 
 
@@ -115,6 +134,15 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     the ``failed_requests`` / ``latency_inflation`` columns report the
     user-visible cost of backpressure instead of zero.
 
+    ``retry`` (``off`` | ``on``) adds the client retry loop on top of the
+    closed feedback loop: failed requests are re-injected with exponential
+    backoff (tunable via ``retry_max_attempts``, ``retry_base_backoff_s``,
+    ``retry_backoff_multiplier``, ``retry_max_backoff_s``, ``retry_jitter``,
+    ``retry_budget``) and the row gains the ``retried_requests`` /
+    ``mean_attempts`` / ``gave_up_requests`` / ``retry_amplification``
+    columns.  When the ``retry`` param is absent entirely the row is
+    byte-identical to the pre-retry output.
+
     Imports stay inside the function so the runner is resolvable by dotted
     path in sweep worker processes without import cycles.
     """
@@ -122,6 +150,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     from repro.cluster.fleet import FleetConfig
     from repro.cluster.placement import PlacementPolicy
     from repro.platform.presets import get_platform_preset
+    from repro.sim.retry import resolve_retry
     from repro.traces.generator import HUAWEI_FLAVORS
     from repro.workloads.functions import get_workload
 
@@ -142,6 +171,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     host_memory_gb = float(params.get("host_memory_gb", 4.0))  # type: ignore[arg-type]
     with_scheduler = bool(params.get("with_scheduler", True))
     feedback = str(params.get("feedback", "off"))
+    retry_mode, retry_policy = resolve_retry(params)
 
     # Rescale the preset's keep-alive window so its max hits ``keep_alive_s``
     # (preserving the min/max ratio).  A window shorter than the traffic
@@ -190,6 +220,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
         scheduler=_scheduler(seed, duration_s) if with_scheduler else None,
         seed=seed,
         feedback=feedback,
+        retry=retry_policy,
     )
     result = simulator.run()
 
@@ -203,6 +234,8 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
         "feedback": feedback,
         "seed": seed,
     }
+    if retry_mode is not None:
+        row["retry"] = retry_mode
     summary = result.summary()
     summary.pop("policy", None)
     row.update(summary)
@@ -230,6 +263,38 @@ def backpressure_sweep(
         base_seed=base_seed,
     )
     return run_sweep(scenarios, processes=processes, ordered=ordered)
+
+
+def retry_amplification_sweep(
+    axes: Optional[Mapping[str, Sequence[object]]] = None,
+    common: Optional[Mapping[str, object]] = None,
+    base_seed: int = 2026,
+    processes: Optional[int] = None,
+    ordered: bool = True,
+) -> ResultStore:
+    """The retry-amplification axis: retries off vs on over a saturated fleet.
+
+    A thin preset over :func:`backpressure_sweep`: feedback defaults to
+    ``"on"`` (requests must *fail* for clients to retry) on a
+    single-concurrency platform (every excess request cold-starts its own
+    sandbox, so fleet rejections deterministically fail requests).  Compare
+    the ``retry == "on"`` rows' ``retry_amplification`` /
+    ``gave_up_requests`` columns against their ``retry == "off"`` twins to
+    read off the load amplification failed-and-retried requests cause.
+    """
+    merged: Dict[str, object] = {
+        "feedback": "on",
+        "platform": "aws_lambda_like",
+        "billing": "aws_lambda",
+    }
+    merged.update(common or {})
+    return backpressure_sweep(
+        axes=dict(axes or RETRY_AXES),
+        common=merged,
+        base_seed=base_seed,
+        processes=processes,
+        ordered=ordered,
+    )
 
 
 def backpressure_experiment() -> List[Dict[str, object]]:

@@ -43,10 +43,15 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     ``gcp_run_like``), ``billing`` (billing-model name, default
     ``gcp_run_request``), ``workload`` (catalog name, default ``pyaes``),
     ``rps_per_function``, ``duration_s``, ``arrival_process``,
-    ``host_vcpus``, ``host_memory_gb``, ``sample_interval_s``, and
+    ``host_vcpus``, ``host_memory_gb``, ``sample_interval_s``,
     ``feedback`` (``off`` | ``on``, default ``off``: close the state loop so
     admission outcomes and scheduler throttling shape the
-    ``failed_requests`` / ``latency_inflation`` columns).
+    ``failed_requests`` / ``latency_inflation`` columns), and ``retry``
+    (``off`` | ``on``: re-inject failed requests through the client retry
+    loop, tunable via the ``retry_*`` params of
+    :meth:`repro.sim.retry.RetryPolicy.from_params`; rows then gain the
+    retry columns, and when the param is absent entirely rows stay
+    byte-identical to the pre-retry output).
 
     Imports stay inside the function so the runner is resolvable by dotted
     path in sweep worker processes without import cycles.
@@ -56,6 +61,7 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     from repro.cluster.host import HostSpec
     from repro.cluster.placement import PlacementPolicy
     from repro.platform.presets import get_platform_preset
+    from repro.sim.retry import resolve_retry
     from repro.traces.generator import HUAWEI_FLAVORS
     from repro.workloads.functions import get_workload
 
@@ -106,6 +112,7 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
         )
 
     feedback = str(params.get("feedback", "off"))
+    retry_mode, retry_policy = resolve_retry(params)
     simulator = ClusterSimulator(
         deployments,
         fleet_config=FleetConfig(
@@ -116,6 +123,7 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
         billing_platform=billing,
         seed=seed,
         feedback=feedback,
+        retry=retry_policy,
     )
     result = simulator.run()
 
@@ -127,6 +135,8 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
         "feedback": feedback,
         "seed": seed,
     }
+    if retry_mode is not None:
+        row["retry"] = retry_mode
     summary = result.summary()
     summary.pop("num_functions", None)
     summary.pop("policy", None)

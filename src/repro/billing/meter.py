@@ -24,7 +24,7 @@ Two billing families are handled:
 Idle (keep-alive) instance-seconds are accounted separately from busy time so
 provider-side keep-alive cost can be read off the meter.
 
-Two cross-layer refinements ride on the same event stream:
+Three cross-layer refinements ride on the same event stream:
 
 - **Stretched billing**: the meter bills the ``execution_duration_s`` each
   outcome actually reports.  When the execution-feedback layer
@@ -39,6 +39,12 @@ Two cross-layer refinements ride on the same event stream:
   :meth:`~repro.billing.models.BillingModel.with_price_multiplier`), giving
   heterogeneous multi-zone fleets a per-zone invoice
   (:attr:`CostMeter.cost_usd_by_class`).
+- **Per-attempt billing**: with the client retry loop
+  (:mod:`repro.sim.retry`) on, each completed attempt arrives as its own
+  ``RequestCompleted`` event and is invoiced separately, bucketed by attempt
+  number (:attr:`CostMeter.cost_usd_by_attempt`) -- the user-side bill of
+  retry amplification.  Without retries everything bills under attempt 1 and
+  the totals are float-exactly unchanged.
 """
 
 from __future__ import annotations
@@ -110,6 +116,12 @@ class _OpenInstance:
     alloc_memory_gb: float
     idle_since_s: Optional[float] = None
     idle_seconds: float = 0.0
+    #: Whether the sandbox ever landed on a host.  Only ``False`` under
+    #: admission-gated metering (:meth:`CostMeter.attach_admissions`) before
+    #: the fleet's ``SandboxAdmitted`` arrives; a sandbox closed while still
+    #: ``False`` spent its whole life in the admission queue and bills
+    #: nothing.
+    admitted: bool = True
 
 
 class CostMeter:
@@ -130,6 +142,9 @@ class CostMeter:
         self.calculator = BillingCalculator(platform)
         self.include_invocation_fee = include_invocation_fee
         self._instance_billed = self.calculator.model.billable_time is BillableTime.INSTANCE
+        #: True once attach_admissions() subscribed: lifespans start at fleet
+        #: admission, and sandboxes that never get admitted bill nothing.
+        self._admission_gated = False
         # Zone-aware pricing: price class -> unit-price multiplier, with one
         # lazily built calculator per class.  The resolver (attach_fleet) maps
         # a sandbox name to the price class of its current host.
@@ -140,6 +155,13 @@ class CostMeter:
         self._price_class_resolver: Optional[Callable[[str], Optional[str]]] = None
         #: Running invoice per price class ("standard" covers unresolved work).
         self.cost_usd_by_class: Dict[str, float] = {}
+        #: Running request-billed invoice per client attempt number.  With a
+        #: retry loop on, every billed attempt is invoiced separately (a
+        #: request that succeeds on its third attempt pays three times the
+        #: backoff in latency but is *billed* once, at attempt 3 -- failed
+        #: attempts never executed, so nothing was metered for them); without
+        #: retries everything lands under attempt 1.
+        self.cost_usd_by_attempt: Dict[int, float] = {}
         # Request-level accumulators.
         self.num_requests = 0
         self.num_cold_starts = 0
@@ -187,8 +209,11 @@ class CostMeter:
         start time to its admission, so instance-billed invoices exclude the
         admission-queue wait.  Directly placed sandboxes are admitted at
         their cold-start time, leaving their lifespans float-exactly
-        unchanged.
+        unchanged.  A sandbox that *never* gets admitted -- still queued at
+        the horizon, or rejected after queueing -- spent its entire life
+        off-host and is closed without billing anything.
         """
+        self._admission_gated = True
         bus.subscribe(SandboxAdmitted, self._on_admitted)
         return self
 
@@ -242,6 +267,7 @@ class CostMeter:
         inputs: InvocationBillingInput,
         cold_start: bool = False,
         price_class: Optional[str] = None,
+        attempts: int = 1,
     ) -> BilledInvocation:
         """Bill one invocation (at its zone's price class) into the running totals."""
         calculator = self._calculator_for(price_class)
@@ -250,6 +276,9 @@ class CostMeter:
         if cold_start:
             self.num_cold_starts += 1
         self._add_cost(price_class, billed.invoice.total)
+        self.cost_usd_by_attempt[attempts] = (
+            self.cost_usd_by_attempt.get(attempts, 0.0) + billed.invoice.total
+        )
         self.billable_cpu_seconds += billed.billable_cpu_seconds
         self.billable_memory_gb_seconds += billed.billable_memory_gb_seconds
         self.actual_cpu_seconds += billed.actual_cpu_seconds
@@ -276,8 +305,11 @@ class CostMeter:
                 self.num_cold_starts += 1
             return
         price_class = self._resolve_price_class(str(getattr(outcome, "sandbox_name", "")))
+        attempts = int(getattr(outcome, "attempts", 1))
         if is_record:
-            self.meter_request(InvocationBillingInput.from_request(outcome), cold, price_class)
+            self.meter_request(
+                InvocationBillingInput.from_request(outcome), cold, price_class, attempts
+            )
             return
         if resources is None:
             raise ValueError(
@@ -295,6 +327,7 @@ class CostMeter:
             ),
             cold,
             price_class,
+            attempts,
         )
 
     # ------------------------------------------------------------------
@@ -306,6 +339,7 @@ class CostMeter:
             started_s=event.time_s,
             alloc_vcpus=event.alloc_vcpus,
             alloc_memory_gb=event.alloc_memory_gb,
+            admitted=not self._admission_gated,
         )
         self.instances_started += 1
 
@@ -313,6 +347,7 @@ class CostMeter:
         instance = self._open_instances.get(event.sandbox_name)
         if instance is not None:
             instance.started_s = event.time_s
+            instance.admitted = True
 
     def _on_busy(self, event: SandboxBusy) -> None:
         instance = self._open_instances.get(event.sandbox_name)
@@ -331,6 +366,12 @@ class CostMeter:
             self._close_instance(event.sandbox_name, instance, event.time_s)
 
     def _close_instance(self, name: str, instance: _OpenInstance, now_s: float) -> None:
+        if not instance.admitted:
+            # Admission-gated metering: this sandbox never landed on a host,
+            # so its whole "lifespan" was off-host admission-queue wait --
+            # the wait the gate exists to exclude from invoices.
+            self.instances_closed += 1
+            return
         lifespan = max(now_s - instance.started_s, 0.0)
         if instance.idle_since_s is not None:
             instance.idle_seconds += max(now_s - instance.idle_since_s, 0.0)

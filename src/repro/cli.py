@@ -10,6 +10,7 @@ Usage::
     repro-serverless-costs cluster --fleet-sizes 8,16 --policies best_fit,worst_fit --output cluster.csv
     repro-serverless-costs backpressure --queue-depths 0,8 --policies best_fit,cost_fit --output bp.csv
     repro-serverless-costs backpressure --feedback on --unordered --processes 4 --output bp_fb.csv
+    repro-serverless-costs backpressure --feedback on --retry off,on --output bp_retry.csv
 """
 
 from __future__ import annotations
@@ -153,6 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cluster_parser.add_argument(
+        "--retry",
+        choices=("off", "on"),
+        default="off",
+        help=(
+            "Client retry loop: failed requests are re-injected with exponential "
+            "backoff and re-load the fleet (needs --feedback on to have any effect; "
+            "default: off, failures stay terminal)"
+        ),
+    )
+    cluster_parser.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -238,6 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     backpressure_parser.add_argument(
+        "--retry",
+        default="off",
+        help=(
+            "Comma-separated client-retry modes (off, on).  'on' re-injects failed "
+            "requests with exponential backoff so they re-load the fleet (needs "
+            "--feedback on to have any effect); 'off,on' sweeps the retry axis and "
+            "the retry_amplification column compares the twin rows"
+        ),
+    )
+    backpressure_parser.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -256,6 +277,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "markdown"), default="text", help="Output table format"
     )
     return parser
+
+
+def _warn_inert_retry(feedback: str, retry_active: bool) -> None:
+    """Retries only engage when the feedback loop can fail requests.
+
+    With ``feedback="off"`` nothing ever fails, so ``--retry on`` would run
+    to completion reporting all-zero retry columns that read as "retries had
+    no effect" rather than "retries never engaged" -- warn loudly instead of
+    leaving the user to decode that.
+    """
+    if retry_active and feedback == "off":
+        print(
+            "warning: --retry on has no effect with --feedback off "
+            "(requests only fail in the closed loop); add --feedback on",
+            file=sys.stderr,
+        )
 
 
 def _error_message(error: BaseException) -> str:
@@ -354,6 +391,20 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
     if not fleet_sizes or not policies or not keep_alive:
         print("cluster needs at least one fleet size, policy, and keep-alive value", file=sys.stderr)
         return 2
+    common = {
+        "platform": args.platform,
+        "billing": args.billing,
+        "rps_per_function": args.rps,
+        "duration_s": args.duration_s,
+        "host_vcpus": args.host_vcpus,
+        "host_memory_gb": args.host_memory_gb,
+        "feedback": args.feedback,
+    }
+    if args.retry != "off":
+        # Only forward an active retry mode: without the param the rows (and
+        # therefore default CSVs) stay byte-identical to the pre-retry CLI.
+        common["retry"] = args.retry
+    _warn_inert_retry(args.feedback, args.retry == "on")
     try:
         store = cluster_cost_sweep(
             axes={
@@ -361,15 +412,7 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
                 "placement_policy": policies,
                 "keep_alive_s": keep_alive,
             },
-            common={
-                "platform": args.platform,
-                "billing": args.billing,
-                "rps_per_function": args.rps,
-                "duration_s": args.duration_s,
-                "host_vcpus": args.host_vcpus,
-                "host_memory_gb": args.host_memory_gb,
-                "feedback": args.feedback,
-            },
+            common=common,
             base_seed=args.seed,
             processes=args.processes,
             ordered=not args.unordered,
@@ -398,19 +441,26 @@ def _cmd_backpressure(args: "argparse.Namespace") -> int:
         return 2
     policies = [name.strip() for name in args.policies.split(",") if name.strip()]
     heterogeneity = [name.strip() for name in args.heterogeneity.split(",") if name.strip()]
-    if not queue_depths or not policies or not heterogeneity:
+    retries = [name.strip() for name in args.retry.split(",") if name.strip()]
+    if not queue_depths or not policies or not heterogeneity or not retries:
         print(
-            "backpressure needs at least one queue depth, policy, and heterogeneity value",
+            "backpressure needs at least one queue depth, policy, heterogeneity and retry value",
             file=sys.stderr,
         )
         return 2
+    axes = {
+        "queue_depth": queue_depths,
+        "placement_policy": policies,
+        "heterogeneity": heterogeneity,
+    }
+    if retries != ["off"]:
+        # An active retry mode (or a multi-value list) becomes a sweep axis;
+        # the bare default keeps rows byte-identical to the pre-retry CLI.
+        axes["retry"] = retries
+    _warn_inert_retry(args.feedback, "on" in retries)
     try:
         store = backpressure_sweep(
-            axes={
-                "queue_depth": queue_depths,
-                "placement_policy": policies,
-                "heterogeneity": heterogeneity,
-            },
+            axes=axes,
             common={
                 "queue_discipline": args.queue_discipline,
                 "max_hosts": args.max_hosts,

@@ -42,6 +42,7 @@ from repro.sched.engine import SchedulerSim, SimulationResult
 from repro.sim.events import EventBus
 from repro.sim.feedback import FeedbackChannel
 from repro.sim.kernel import SimulationKernel
+from repro.sim.retry import RetryLoop, RetryPolicy
 from repro.sim.rng import derive_seed
 from repro.workloads.traffic import constant_rate_arrivals, poisson_arrivals
 
@@ -80,6 +81,7 @@ class ClusterResult:
     fleet: Fleet
     meter: Optional[CostMeter]
     scheduler: Optional[SimulationResult] = None
+    retry: Optional[RetryLoop] = None
 
     def summary(self) -> Dict[str, float]:
         """One flat row combining request-, fleet-, cost- and scheduler-level outcomes."""
@@ -110,6 +112,24 @@ class ClusterResult:
             # throttling all show up here.
             "latency_inflation": (latency_s - floor_s) / floor_s if floor_s > 0 else 0.0,
         }
+        if self.retry is not None:
+            # Retry-layer columns exist only when a retry loop ran, so
+            # retry=None rows -- and their CSVs -- stay byte-identical to the
+            # pre-retry output.
+            arrivals = sum(m.arrivals for m in self.metrics.values())
+            retried = sum(m.retry_arrivals for m in self.metrics.values())
+            initial = arrivals - retried
+            attempt_counts = [c for m in self.metrics.values() for c in m.attempt_counts()]
+            row["retried_requests"] = float(retried)
+            row["gave_up_requests"] = float(
+                sum(m.gave_up_requests for m in self.metrics.values())
+            )
+            row["mean_attempts"] = (
+                sum(attempt_counts) / len(attempt_counts) if attempt_counts else 0.0
+            )
+            # Load amplification the fleet actually absorbed: arrivals per
+            # organic arrival (1.0 = nothing retried).
+            row["retry_amplification"] = arrivals / initial if initial else 1.0
         row.update(self.fleet.summary())
         if self.meter is not None:
             totals = self.meter.totals()
@@ -164,6 +184,16 @@ class ClusterSimulator:
     ``price_class_multipliers`` (price class -> unit-price factor) makes the
     live cost meter invoice each request at the price class of the *host its
     sandbox landed on*, so heterogeneous multi-zone fleets bill by zone.
+
+    ``retry`` (a :class:`~repro.sim.retry.RetryPolicy`) models clients that
+    retry failed requests: a :class:`~repro.sim.retry.RetryLoop` subscribed
+    to the cluster bus re-injects every non-terminal failure as a fresh
+    arrival after exponential seed-derived backoff, so rejected load comes
+    back and re-loads the fleet (visible in the ``retried_requests`` /
+    ``mean_attempts`` / ``gave_up_requests`` / ``retry_amplification``
+    summary columns).  Requests only *fail* when the feedback layer is on;
+    with ``feedback="off"`` a retry policy is inert.  ``retry=None`` (the
+    default) byte-reproduces the pre-retry outputs.
     """
 
     def __init__(
@@ -175,6 +205,7 @@ class ClusterSimulator:
         seed: int = 0,
         feedback: str = "off",
         price_class_multipliers: Optional[Mapping[str, float]] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not deployments:
             raise ValueError("a cluster simulation needs at least one deployment")
@@ -192,6 +223,14 @@ class ClusterSimulator:
         #: The execution-feedback channel (None with feedback="off").
         self.feedback: Optional[FeedbackChannel] = (
             FeedbackChannel().attach(self.bus) if feedback == "on" else None
+        )
+        #: The client retry loop (None without a retry policy).  Its backoff
+        #: stream seed derives from the run seed, so retry timing replays
+        #: byte-identically from the same seed.
+        self.retry: Optional[RetryLoop] = (
+            RetryLoop(retry, seed=derive_seed(seed, "retry")).attach(self.bus)
+            if retry is not None
+            else None
         )
         self.fleet = Fleet(fleet_config).attach(self.bus)
         if self.fleet.config.sample_interval_s is not None:
@@ -227,7 +266,10 @@ class ClusterSimulator:
                 kernel=self.kernel,
                 name=name,
                 feedback=self.feedback,
+                retry=self.retry,
             )
+            if self.retry is not None:
+                self.retry.register(name, simulator)
             if self.meter is not None:
                 # Per-function attachment: the meter needs each deployment's
                 # allocation/usage context, which the shared bus does not carry.
@@ -269,4 +311,5 @@ class ClusterSimulator:
             fleet=self.fleet,
             meter=self.meter,
             scheduler=self.scheduler.finalize() if self.scheduler is not None else None,
+            retry=self.retry,
         )

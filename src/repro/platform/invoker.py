@@ -50,6 +50,7 @@ from repro.sim.events import (
 )
 from repro.sim.feedback import AdmissionState, FeedbackChannel
 from repro.sim.kernel import Event, SimulationKernel
+from repro.sim.retry import RetryLoop
 
 __all__ = ["PlatformSimulator", "RequestOutcome", "SimulationMetrics"]
 
@@ -80,6 +81,16 @@ class PlatformSimulator:
     queue wait, and a rejected one fails its pending request with a typed
     :class:`~repro.platform.metrics.FailedRequest`.  Without a channel (the
     default), behaviour is byte-identical to the pre-feedback simulator.
+
+    Pass a :class:`~repro.sim.retry.RetryLoop` to model clients that retry:
+    the simulator then stamps every failure's ``gave_up`` flag from the
+    loop's policy (so metrics agree with what the loop re-injects), and the
+    loop feeds retries back in through :meth:`inject_retry` -- a fresh
+    ``arrival`` kernel event carrying the attempt count and cumulative
+    backoff, which re-enters routing, cold-start and fleet admission gating
+    exactly like an organic arrival.  Without a loop (the default) every
+    failure is terminal and behaviour is byte-identical to the pre-retry
+    simulator.
     """
 
     def __init__(
@@ -91,6 +102,7 @@ class PlatformSimulator:
         kernel: Optional[SimulationKernel] = None,
         name: str = "",
         feedback: Optional[FeedbackChannel] = None,
+        retry: Optional[RetryLoop] = None,
     ) -> None:
         self.platform = platform
         self.function = function
@@ -105,8 +117,10 @@ class PlatformSimulator:
         for kind in _EVENT_KINDS:
             self._kernel.on(self._kind(kind), getattr(self, f"_handle_{kind}"))
         self._sandboxes: Dict[str, Sandbox] = {}
-        self._queue: List[Tuple[float, str]] = []  # (arrival time, request id) FIFO
-        self._pending_cold: Dict[str, List[Tuple[float, str]]] = {}  # sandbox -> waiting requests
+        #: Ingress FIFO: (arrival time, request id, attempts, retry wait).
+        self._queue: List[Tuple[float, str, int, float]] = []
+        #: sandbox -> waiting (arrival time, request id, attempts, retry wait).
+        self._pending_cold: Dict[str, List[Tuple[float, str, int, float]]] = {}
         self._completion_version: Dict[str, int] = {}
         self.metrics = SimulationMetrics()
         # Each simulator owns its instrumentation bus, so its metrics only ever
@@ -115,6 +129,7 @@ class PlatformSimulator:
         # watch several co-simulated simulators without cross-contaminating
         # their metrics.
         self._feedback = feedback
+        self._retry = retry
         self.bus = EventBus()
         self.bus.subscribe(RequestCompleted, self._record_outcome)
         self.bus.subscribe(RequestFailed, self._record_failure)
@@ -178,6 +193,18 @@ class PlatformSimulator:
         """
         return len(self._queue) + sum(len(waiting) for waiting in self._pending_cold.values())
 
+    @property
+    def in_flight_request_count(self) -> int:
+        """Requests admitted into sandboxes and not yet completed.
+
+        Together with :attr:`pending_request_count`, completed and failed
+        requests this closes the arrival conservation law
+        (``arrivals == completed + failed + pending + in-flight``) at any
+        instant -- the invariant the cross-layer conservation test suite
+        checks on every configuration.
+        """
+        return sum(s.concurrency for s in self._alive_sandboxes())
+
     # ------------------------------------------------------------------
     # Event plumbing and instrumentation
     # ------------------------------------------------------------------
@@ -210,12 +237,33 @@ class PlatformSimulator:
 
     def _handle_arrival(self, event: Event) -> None:
         request_id = f"{self._id_prefix}req-{next(self._request_counter):07d}"
-        self._route(request_id, arrival_s=self._now)
+        # Retry re-injections (inject_retry) carry their attempt metadata on
+        # the kernel event; organic arrivals have an empty payload.
+        attempts = int(event.data.get("attempts", 1))
+        retry_wait_s = float(event.data.get("retry_wait_s", 0.0))
+        self.metrics.record_arrival(attempts)
+        self._route(request_id, self._now, attempts=attempts, retry_wait_s=retry_wait_s)
 
-    def _route(self, request_id: str, arrival_s: float) -> None:
+    def inject_retry(self, delay_s: float, attempts: int, retry_wait_s: float) -> None:
+        """Re-inject a failed request as a fresh arrival ``delay_s`` from now.
+
+        Called by the :class:`~repro.sim.retry.RetryLoop` from inside the
+        failing event's bus publish.  The arrival gets a new request id from
+        the same counter as organic traffic and re-enters the full routing /
+        cold-start / fleet-admission path, so retry load experiences -- and
+        adds to -- the same backpressure that failed it.
+        """
+        self._kernel.schedule_in(
+            delay_s, self._kind("arrival"), {"attempts": attempts, "retry_wait_s": retry_wait_s}
+        )
+
+    def _route(
+        self, request_id: str, arrival_s: float, attempts: int = 1, retry_wait_s: float = 0.0
+    ) -> None:
         sandbox = self._pick_sandbox()
         if sandbox is not None:
-            self._admit(sandbox, request_id, arrival_s, cold=False)
+            self._admit(sandbox, request_id, arrival_s, cold=False,
+                        attempts=attempts, retry_wait_s=retry_wait_s)
             return
         if self.platform.concurrency.is_single or not self._alive_sandboxes():
             # Single-concurrency platforms provision a fresh sandbox per excess
@@ -227,15 +275,18 @@ class PlatformSimulator:
                 # admission; the request it was provisioned for fails instead
                 # of waiting for a readiness that will never come.
                 self._fail_request(
-                    request_id, arrival_s, reason="admission_rejected", sandbox_name=sandbox.name
+                    request_id, arrival_s, reason="admission_rejected",
+                    sandbox_name=sandbox.name, attempts=attempts, retry_wait_s=retry_wait_s,
                 )
                 return
-            self._pending_cold.setdefault(sandbox.name, []).append((arrival_s, request_id))
+            self._pending_cold.setdefault(sandbox.name, []).append(
+                (arrival_s, request_id, attempts, retry_wait_s)
+            )
             return
         # Multi-concurrency: all instances are at their concurrency limit; the
         # request queues at the ingress until capacity frees or the autoscaler
         # adds instances.
-        self._queue.append((arrival_s, request_id))
+        self._queue.append((arrival_s, request_id, attempts, retry_wait_s))
 
     def _pick_sandbox(self) -> Optional[Sandbox]:
         """Choose a ready sandbox with available concurrency (fewest active requests)."""
@@ -325,8 +376,11 @@ class PlatformSimulator:
         # handle it: tear the sandbox down, fail everything waiting on it.
         waiting = self._pending_cold.pop(name, [])
         self._abort_sandbox(sandbox)
-        for arrival_s, request_id in waiting:
-            self._fail_request(request_id, arrival_s, reason="admission_rejected", sandbox_name=name)
+        for arrival_s, request_id, attempts, retry_wait_s in waiting:
+            self._fail_request(
+                request_id, arrival_s, reason="admission_rejected", sandbox_name=name,
+                attempts=attempts, retry_wait_s=retry_wait_s,
+            )
         self._publish_instance_count()
 
     def _abort_sandbox(self, sandbox: Sandbox) -> None:
@@ -335,8 +389,20 @@ class PlatformSimulator:
         self.bus.publish(SandboxEvicted(self._now, sandbox.name, reason="admission_rejected"))
 
     def _fail_request(
-        self, request_id: str, arrival_s: float, reason: str, sandbox_name: str = ""
+        self,
+        request_id: str,
+        arrival_s: float,
+        reason: str,
+        sandbox_name: str = "",
+        attempts: int = 1,
+        retry_wait_s: float = 0.0,
     ) -> None:
+        # The retry loop is a downstream bus subscriber, but the gave_up flag
+        # must already be on the record metrics capture first -- so the
+        # publisher asks the loop's policy.  Bus dispatch is synchronous, so
+        # no budget can be spent between this query and the loop's handling
+        # of the very event it stamps.
+        gave_up = self._retry is not None and not self._retry.will_retry(self.name, attempts)
         self.bus.publish(
             RequestFailed(
                 self._now,
@@ -346,6 +412,9 @@ class PlatformSimulator:
                     failed_s=self._now,
                     reason=reason,
                     sandbox_name=sandbox_name,
+                    attempts=attempts,
+                    retry_wait_s=retry_wait_s,
+                    gave_up=gave_up,
                 ),
             )
         )
@@ -356,13 +425,22 @@ class PlatformSimulator:
             return
         sandbox.mark_ready(self._now)
         waiting = self._pending_cold.pop(sandbox.name, [])
-        for index, (arrival_s, request_id) in enumerate(waiting):
+        for index, (arrival_s, request_id, attempts, retry_wait_s) in enumerate(waiting):
             # The request(s) that waited for this sandbox experienced the cold start.
-            self._admit(sandbox, request_id, arrival_s, cold=True)
+            self._admit(sandbox, request_id, arrival_s, cold=True,
+                        attempts=attempts, retry_wait_s=retry_wait_s)
         self._drain_queue()
         self._maybe_schedule_keepalive(sandbox)
 
-    def _admit(self, sandbox: Sandbox, request_id: str, arrival_s: float, cold: bool) -> None:
+    def _admit(
+        self,
+        sandbox: Sandbox,
+        request_id: str,
+        arrival_s: float,
+        cold: bool,
+        attempts: int = 1,
+        retry_wait_s: float = 0.0,
+    ) -> None:
         overhead = self.platform.serving.sample_overhead_s(self.function.alloc_vcpus, self._rng)
         request = ActiveRequest(
             request_id=request_id,
@@ -373,6 +451,8 @@ class PlatformSimulator:
             overhead_s=overhead,
             cold_start=cold,
             init_wait_s=(self._now - arrival_s) if cold else 0.0,
+            attempts=attempts,
+            retry_wait_s=retry_wait_s,
         )
         was_busy = sandbox.state is SandboxState.BUSY
         sandbox.admit(request, self._now)
@@ -437,6 +517,8 @@ class PlatformSimulator:
                         queue_delay_s=max(exec_start - request.arrival_s - request.init_wait_s, 0.0),
                         sandbox_name=sandbox.name,
                         service_floor_s=self.function.service_time_s + request.overhead_s,
+                        attempts=request.attempts,
+                        retry_wait_s=request.retry_wait_s,
                     ),
                 )
             )
@@ -452,8 +534,9 @@ class PlatformSimulator:
             sandbox = self._pick_sandbox()
             if sandbox is None:
                 return
-            arrival_s, request_id = self._queue.pop(0)
-            self._admit(sandbox, request_id, arrival_s, cold=False)
+            arrival_s, request_id, attempts, retry_wait_s = self._queue.pop(0)
+            self._admit(sandbox, request_id, arrival_s, cold=False,
+                        attempts=attempts, retry_wait_s=retry_wait_s)
 
     # ------------------------------------------------------------------
     # Keep-alive and termination

@@ -29,6 +29,12 @@ class RequestOutcome:
     #: queueing -- is latency inflation.  ``0`` on records that predate the
     #: feedback layer (old pickles / hand-built outcomes).
     service_floor_s: float = 0.0
+    #: Which client attempt this was (1 = the original request; >1 means the
+    #: retry loop re-injected it after earlier attempts failed).
+    attempts: int = 1
+    #: Cumulative client-side backoff the request waited across all earlier
+    #: failed attempts before this (successful) one arrived.
+    retry_wait_s: float = 0.0
 
     @property
     def end_to_end_latency_s(self) -> float:
@@ -55,6 +61,15 @@ class FailedRequest:
     failed_s: float
     reason: str
     sandbox_name: str = ""
+    #: Which client attempt failed (1 = the original request).
+    attempts: int = 1
+    #: Cumulative client-side backoff spent before this attempt arrived.
+    retry_wait_s: float = 0.0
+    #: Terminal flag set by the retry layer: ``True`` means the client will
+    #: not retry this failure (attempts exhausted or retry budget spent).
+    #: Always ``False`` without a retry loop -- the pre-retry behaviour,
+    #: where every failure was implicitly terminal.
+    gave_up: bool = False
 
     @property
     def waiting_s(self) -> float:
@@ -77,6 +92,12 @@ class SimulationMetrics:
     #: (time, instance count) samples over the simulation.
     instance_timeline: List[Tuple[float, int]] = field(default_factory=list)
     cold_starts: int = 0
+    #: Arrival events that actually fired, retries included.  The conservation
+    #: law every run must satisfy: ``arrivals == completed + failed + pending
+    #: + in-flight`` (the last term is zero once a run has drained).
+    arrivals: int = 0
+    #: Of those, how many were retry re-injections (attempt > 1).
+    retry_arrivals: int = 0
 
     def record(self, outcome: RequestOutcome) -> None:
         self.requests.append(outcome)
@@ -85,6 +106,11 @@ class SimulationMetrics:
 
     def record_failure(self, failure: FailedRequest) -> None:
         self.failures.append(failure)
+
+    def record_arrival(self, attempts: int = 1) -> None:
+        self.arrivals += 1
+        if attempts > 1:
+            self.retry_arrivals += 1
 
     def record_instances(self, now_s: float, count: int) -> None:
         self.instance_timeline.append((now_s, count))
@@ -100,6 +126,22 @@ class SimulationMetrics:
     @property
     def failed_requests(self) -> int:
         return len(self.failures)
+
+    @property
+    def gave_up_requests(self) -> int:
+        """Terminal failures: the client exhausted its attempts or budget."""
+        return sum(1 for f in self.failures if f.gave_up)
+
+    def attempt_counts(self) -> List[int]:
+        """Attempts of every *terminal* request: completed or given up.
+
+        Non-terminal failures are excluded -- their retry is still in flight
+        (or was censored by the horizon), so counting them would double-count
+        the logical request.
+        """
+        counts = [r.attempts for r in self.requests]
+        counts.extend(f.attempts for f in self.failures if f.gave_up)
+        return counts
 
     def execution_durations_s(self) -> List[float]:
         return [r.execution_duration_s for r in self.requests]

@@ -49,6 +49,10 @@ class ActiveRequest:
     cold_start: bool
     init_wait_s: float = 0.0
     exec_start_s: Optional[float] = None
+    #: Client attempt number (1 = original; >1 = retry-loop re-injection).
+    attempts: int = 1
+    #: Cumulative client backoff spent before this attempt arrived.
+    retry_wait_s: float = 0.0
 
 
 @dataclass

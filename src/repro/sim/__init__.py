@@ -21,6 +21,12 @@ scheduler (`repro.sched.engine`) into one reusable layer:
   co-simulated layers share *state* (scheduler throttling stretches request
   service times, fleet admission outcomes delay or fail serving) and not just
   a clock.  Resolved deterministically at event-schedule time.
+- :mod:`repro.sim.retry` -- the client retry loop: a
+  :class:`~repro.sim.retry.RetryPolicy` (bounded attempts, exponential
+  seed-derived backoff, optional per-function budget) executed by a
+  :class:`~repro.sim.retry.RetryLoop` bus subscriber that re-injects failed
+  requests as fresh arrivals, so backpressure-rejected load comes back and
+  re-loads the fleet instead of vanishing.
 - :mod:`repro.sim.sweep` / :mod:`repro.sim.results` -- a scenario-sweep
   orchestrator that fans a grid of (platform x workload x config) runs out
   across processes with per-run derived seeds, and the structured result
@@ -55,6 +61,7 @@ from repro.sim.feedback import (
 )
 from repro.sim.kernel import Event, PeriodicProcess, SimulationKernel, SimProcess
 from repro.sim.results import ResultStore
+from repro.sim.retry import RetryInjector, RetryLoop, RetryPolicy, resolve_retry
 from repro.sim.rng import RngStreams, derive_seed, named_generator
 from repro.sim.sweep import Scenario, build_grid, run_scenario, run_sweep
 
@@ -70,6 +77,9 @@ __all__ = [
     "RequestCompleted",
     "RequestFailed",
     "ResultStore",
+    "RetryInjector",
+    "RetryLoop",
+    "RetryPolicy",
     "RngStreams",
     "SandboxBusy",
     "SandboxColdStart",
@@ -86,6 +96,7 @@ __all__ = [
     "build_grid",
     "derive_seed",
     "named_generator",
+    "resolve_retry",
     "run_scenario",
     "run_sweep",
 ]

@@ -237,7 +237,11 @@ class FeedbackChannel:
         Co-simulated platform simulators namespace sandbox names as
         ``<function>/sandbox-...``, so a simulator can read *its own* share of
         the fleet's admission queue by passing its id prefix -- the signal the
-        queue-aware autoscaler scales on.
+        queue-aware autoscaler scales on.  Cold starts provoked by retry
+        re-injections (:mod:`repro.sim.retry`) queue exactly like organic
+        ones, so this depth -- and everything scaling or placing on it
+        (queue-aware autoscaling, ``COST_FIT``) -- sees the amplified load
+        retrying clients actually offer, not just the first-attempt load.
         """
         if not prefix:
             return len(self._queued)

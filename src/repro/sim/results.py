@@ -130,8 +130,16 @@ class ResultStore:
         counters (``"00042"``, the tail of fleet host names and namespaced
         request/sandbox ids) and underscore-grouped digits (``"1_000"``)
         survive as strings instead of silently collapsing to numbers.
-        Cells written as ``""`` for keys a row never had are dropped, so
-        heterogeneous-key stores compare equal after a round trip.
+
+        Columns a row does not have stay *missing keys*, never ``NaN`` (or a
+        crash): cells written as ``""`` for keys a row never had are dropped,
+        and so are cells a row simply does not reach -- rows shorter than the
+        header, which ``csv.DictReader`` reports as ``None``, as happens when
+        a CSV written before a column existed (e.g. a pre-PR-4 sweep without
+        ``failed_requests``) is re-read under a newer, wider header.  Cells
+        beyond the header (``DictReader``'s ``None`` rest-key) are ignored.
+        Consumers must use ``row.get(...)`` / ``"key" in row`` to distinguish
+        "not recorded" from any recorded value.
         """
         def _parse(value: str) -> object:
             if "_" in value:
@@ -154,6 +162,10 @@ class ResultStore:
         with open(path, "r", newline="") as handle:
             reader = csv.DictReader(handle)
             return cls(
-                {key: _parse(value) for key, value in row.items() if value != ""}
+                {
+                    key: _parse(value)
+                    for key, value in row.items()
+                    if key is not None and value is not None and value != ""
+                }
                 for row in reader
             )

@@ -1,0 +1,182 @@
+"""Cross-layer conservation laws: no request or cold start escapes accounting.
+
+PRs 1-5 stacked four coupled layers (serving, fleet, scheduler, billing) plus
+two feedback mechanisms (admission outcomes, client retries) onto one kernel.
+Each layer counts its own events, which is exactly how accounting *drift*
+creeps in: a path that drops a request (or double-counts a cold start) keeps
+every individual test green while the cross-layer totals quietly stop adding
+up.  This suite pins the conservation laws that must hold for **any**
+``ClusterSimulator`` configuration -- feedback on or off, retries on or off,
+backpressure queues of any depth, saturated or unconstrained fleets:
+
+- **Arrival conservation** (per function and in aggregate): every arrival
+  that fired is exactly one of completed, failed, pending (ingress-queued or
+  parked behind an unresolved cold start), or still in flight inside a
+  sandbox at the horizon.
+- **Cold-start conservation** (fleet layer): every ``SandboxColdStart`` the
+  fleet saw was directly admitted, entered the admission queue, or was
+  rejected -- and every queue entry was eventually admitted, abandoned, or is
+  still queued at the end.
+- **Capacity conservation**: admissions equal releases plus live placements.
+- **Retry conservation**: retry arrivals that fired never exceed the retries
+  the loop scheduled (late backoffs are horizon-censored, not lost), and the
+  loop's give-up count matches the metrics' terminal failures.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+from repro.cluster.fleet import FleetConfig
+from repro.cluster.host import HostSpec
+from repro.platform.presets import get_platform_preset
+from repro.sim.events import SandboxColdStart
+from repro.sim.retry import RetryPolicy
+from repro.workloads.functions import PYAES_FUNCTION
+
+RETRY_POLICY = RetryPolicy(max_attempts=3, base_backoff_s=0.2, jitter=0.1)
+
+
+def _build_cluster(seed, feedback, retry, *, queue_depth=0, max_hosts=1,
+                   preset="aws_lambda_like", rps=5.0, num_functions=2,
+                   host_vcpus=1.0, keep_alive_s=None):
+    preset_config = get_platform_preset(preset)
+    if keep_alive_s is not None:
+        keep_alive = dataclasses.replace(
+            preset_config.keep_alive,
+            min_keep_alive_s=keep_alive_s,
+            max_keep_alive_s=keep_alive_s,
+        )
+        preset_config = dataclasses.replace(preset_config, keep_alive=keep_alive)
+    deployments = []
+    for index in range(num_functions):
+        function = PYAES_FUNCTION.to_function_config(1.0, 2.0, init_duration_s=0.5)
+        function = dataclasses.replace(function, name=f"fn-{index:02d}")
+        deployments.append(
+            FunctionDeployment(function=function, platform=preset_config, rps=rps, duration_s=5.0)
+        )
+    return ClusterSimulator(
+        deployments,
+        fleet_config=FleetConfig(
+            host_spec=HostSpec(vcpus=host_vcpus, memory_gb=host_vcpus * 2),
+            max_hosts=max_hosts,
+            queue_depth=queue_depth,
+            sample_interval_s=2.0,
+        ),
+        billing_platform="aws_lambda",
+        seed=seed,
+        feedback=feedback,
+        retry=retry,
+    )
+
+
+def _assert_conservation(simulator, cold_starts_seen):
+    """Every conservation law, checked on one finished co-simulation."""
+    fleet = simulator.fleet
+    # --- arrival conservation, per function and in aggregate --------------
+    for name, sim in simulator.simulators.items():
+        m = sim.metrics
+        accounted = (
+            m.num_requests
+            + m.failed_requests
+            + sim.pending_request_count
+            + sim.in_flight_request_count
+        )
+        assert m.arrivals == accounted, (
+            f"{name}: {m.arrivals} arrivals != {m.num_requests} completed + "
+            f"{m.failed_requests} failed + {sim.pending_request_count} pending + "
+            f"{sim.in_flight_request_count} in flight"
+        )
+        # the post-run snapshot agrees with the live counter
+        assert m.pending_requests == sim.pending_request_count
+    # --- cold-start conservation at the fleet boundary --------------------
+    direct_admissions = fleet.admitted - fleet.admitted_from_queue
+    assert cold_starts_seen == direct_admissions + fleet.queued_total + len(fleet.unplaceable)
+    assert fleet.queued_total == (
+        fleet.admitted_from_queue + fleet.queue_abandoned + len(fleet.queue)
+    )
+    assert len(fleet.unplaceable) == sum(fleet.reject_reasons.values())
+    # --- capacity conservation --------------------------------------------
+    assert fleet.admitted == fleet.released + fleet.num_placed
+    # --- retry conservation -----------------------------------------------
+    retry_arrivals = sum(m.retry_arrivals for m in
+                         (sim.metrics for sim in simulator.simulators.values()))
+    if simulator.retry is None:
+        assert retry_arrivals == 0
+        assert all(not f.gave_up for sim in simulator.simulators.values()
+                   for f in sim.metrics.failures)
+    else:
+        # late backoffs are censored by the horizon, never invented
+        assert retry_arrivals <= simulator.retry.retries_scheduled
+        assert simulator.retry.gave_up == sum(
+            sim.metrics.gave_up_requests for sim in simulator.simulators.values()
+        )
+
+
+class TestConservationLaws:
+    @settings(max_examples=14, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63 - 1),
+        feedback=st.sampled_from(["off", "on"]),
+        with_retry=st.booleans(),
+        queue_depth=st.sampled_from([0, 4]),
+        max_hosts=st.sampled_from([1, 100_000]),
+        preset=st.sampled_from(["aws_lambda_like", "gcp_run_like"]),
+    )
+    def test_any_cluster_config_conserves_requests_and_cold_starts(
+        self, seed, feedback, with_retry, queue_depth, max_hosts, preset
+    ):
+        simulator = _build_cluster(
+            seed,
+            feedback,
+            RETRY_POLICY if with_retry else None,
+            queue_depth=queue_depth,
+            max_hosts=max_hosts,
+            preset=preset,
+        )
+        cold_starts = []
+        simulator.bus.subscribe(SandboxColdStart, cold_starts.append)
+        simulator.run()
+        _assert_conservation(simulator, len(cold_starts))
+
+    def test_saturated_retrying_cluster_conserves_under_amplification(self):
+        """The hardest case: rejections, give-ups and censored retries at once."""
+        simulator = _build_cluster(
+            1234, "on", RETRY_POLICY, queue_depth=0, max_hosts=1, rps=8.0
+        )
+        cold_starts = []
+        simulator.bus.subscribe(SandboxColdStart, cold_starts.append)
+        result = simulator.run()
+        _assert_conservation(simulator, len(cold_starts))
+        summary = result.summary()
+        # the scenario genuinely amplifies: retries fired and some gave up
+        assert summary["retried_requests"] > 0
+        assert summary["gave_up_requests"] > 0
+        assert summary["retry_amplification"] > 1.0
+
+    def test_zero_capacity_fleet_keeps_everything_pending(self):
+        """Horizon-censored backpressure: queued forever is still accounted."""
+        simulator = _build_cluster(
+            9, "on", RETRY_POLICY, queue_depth=64, max_hosts=0, rps=4.0
+        )
+        cold_starts = []
+        simulator.bus.subscribe(SandboxColdStart, cold_starts.append)
+        result = simulator.run()
+        _assert_conservation(simulator, len(cold_starts))
+        summary = result.summary()
+        assert summary["num_requests"] == 0.0
+        assert summary["pending_requests"] > 0
+
+    def test_queue_drain_under_short_keepalive_conserves(self):
+        """Capacity churns (expiries drain the admission queue) mid-run."""
+        simulator = _build_cluster(
+            77, "on", RETRY_POLICY, queue_depth=8, max_hosts=1, rps=6.0,
+            keep_alive_s=1.0,
+        )
+        cold_starts = []
+        simulator.bus.subscribe(SandboxColdStart, cold_starts.append)
+        simulator.run()
+        _assert_conservation(simulator, len(cold_starts))
+        assert simulator.fleet.admitted_from_queue > 0

@@ -458,6 +458,58 @@ class TestInstanceBillingExcludesQueueWait:
         meter.finalize(8.0)
         assert meter.instance_seconds == 7.0
 
+    def test_never_admitted_sandbox_bills_nothing(self):
+        """A sandbox queued until the horizon spent its whole life off-host.
+
+        Its entire "lifespan" is admission-queue wait -- exactly what the
+        gate excludes from invoices -- so closing it must bill zero, not the
+        cold-start-to-horizon span.
+        """
+        from repro.billing.meter import CostMeter
+
+        bus = EventBus()
+        meter = CostMeter("gcp_run_instance").attach(bus).attach_admissions(bus)
+        bus.publish(SandboxColdStart(0.0, "s0", alloc_vcpus=1.0, alloc_memory_gb=2.0))
+        meter.finalize(8.0)  # still queued: never admitted
+        assert meter.instance_seconds == 0.0
+        assert meter.cost_usd == 0.0
+        assert meter.instances_started == meter.instances_closed == 1
+
+    def test_zero_capacity_closed_loop_cluster_bills_no_instance_time(self):
+        """End to end: a queue that never drains produces a zero invoice.
+
+        With instance billing and feedback on, every cold start queues
+        forever (zero-capacity fleet), so no sandbox ever lands on a host --
+        the run must invoice nothing rather than billing each sandbox's
+        cold-start-to-horizon queue wait.
+        """
+        function = dataclasses.replace(
+            PYAES_FUNCTION.to_function_config(1.0, 2.0, init_duration_s=0.5), name="fn-00"
+        )
+        simulator = ClusterSimulator(
+            [
+                FunctionDeployment(
+                    function=function,
+                    platform=get_platform_preset("aws_lambda_like"),
+                    rps=4.0,
+                    duration_s=6.0,
+                )
+            ],
+            fleet_config=FleetConfig(
+                host_spec=HostSpec(vcpus=1.0, memory_gb=2.0),
+                max_hosts=0,
+                queue_depth=64,
+                sample_interval_s=2.0,
+            ),
+            billing_platform="gcp_run_instance",
+            seed=9,
+            feedback="on",
+        )
+        result = simulator.run()
+        assert result.summary()["pending_requests"] > 0  # queued forever
+        assert result.meter.instance_seconds == 0.0
+        assert result.meter.cost_usd == 0.0
+
 
 class TestRejectionAfterQueueing:
     def test_rejected_while_queued_fails_the_pending_request(self):

@@ -78,6 +78,43 @@ class TestIdentifierRoundTrip:
         assert loaded == store
         assert "c" not in loaded.rows[0] and "b" not in loaded.rows[1]
 
+    def test_columns_added_by_later_prs_stay_missing_on_old_csvs(self, tmp_path):
+        """Re-reading a pre-PR-4 CSV must not invent the newer summary columns.
+
+        A CSV written before ``failed_requests``/``retry_amplification``
+        existed has rows *shorter* than a newer union header (hand-merged
+        files, or appended rows under a widened header).  ``csv.DictReader``
+        reports those cells as ``None``; they must come back as missing keys
+        -- not ``NaN``, not empty strings, not a crash -- so
+        ``row.get("failed_requests")`` distinguishes "not recorded" from 0.
+        """
+        path = tmp_path / "merged.csv"
+        path.write_text(
+            "seed,num_requests,failed_requests,retry_amplification\n"
+            "11,120\n"  # pre-PR-4 row: no failed_requests, no retry column
+            "12,80,3,1.5\n"
+        )
+        rows = ResultStore.from_csv(str(path)).rows
+        assert rows[0] == {"seed": 11, "num_requests": 120}
+        assert "failed_requests" not in rows[0] and "retry_amplification" not in rows[0]
+        assert rows[1]["failed_requests"] == 3 and rows[1]["retry_amplification"] == 1.5
+
+    def test_summarize_skips_rows_missing_the_column(self, tmp_path):
+        """Aggregations over a widened store ignore rows that predate a column."""
+        path = tmp_path / "merged.csv"
+        path.write_text("group,failed_requests\na\na,4\na,2\n")
+        store = ResultStore.from_csv(str(path))
+        summary = store.summarize("group", "failed_requests")
+        assert summary[0]["count"] == 2
+        assert summary[0]["mean_failed_requests"] == 3.0
+
+    def test_cells_beyond_the_header_are_ignored(self, tmp_path):
+        """A ragged row longer than the header must not crash the parse."""
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2,3,4\n")
+        rows = ResultStore.from_csv(str(path)).rows
+        assert rows == [{"a": 1, "b": 2}]
+
     def test_cluster_fleet_summary_row_round_trips(self, tmp_path):
         """An actual co-simulation summary row survives CSV persistence."""
         import dataclasses

@@ -1,0 +1,131 @@
+"""Golden-file regression pin for one retry-on backpressure scenario.
+
+The retry loop touches every layer at once: serving (re-injected arrivals),
+fleet (amplified cold starts through admission gating), feedback (queue-wait
+deferred readiness), billing (per-attempt invoices) and the summary columns.
+Property tests bound its behaviour; this test *freezes* it: one saturated,
+queue-draining, retry-on co-simulation's full summary row and per-attempt
+invoice breakdown are pinned into ``tests/golden/retry/`` and compared
+**float-exact** (JSON stores the shortest round-tripping ``repr`` of each
+double), so any change to retry arithmetic, event ordering or billing must
+touch the golden deliberately.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_retry_golden.py
+"""
+
+import dataclasses
+import json
+import pathlib
+
+from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+from repro.cluster.fleet import FleetConfig
+from repro.cluster.host import HostSpec
+from repro.platform.presets import get_platform_preset
+from repro.sim.retry import RetryPolicy
+from repro.workloads.functions import PYAES_FUNCTION
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "retry"
+GOLDEN_PATH = GOLDEN_DIR / "backpressure_retry.json"
+
+#: Frozen scenario identity: changing any of these invalidates the golden.
+SEED = 20260730
+RETRY_POLICY = RetryPolicy(
+    max_attempts=3,
+    base_backoff_s=0.25,
+    backoff_multiplier=2.0,
+    max_backoff_s=30.0,
+    jitter=0.2,
+)
+
+
+def _scenario() -> ClusterSimulator:
+    """A capacity-bound, queue-draining, closed-loop cluster with retries on.
+
+    Single-concurrency platform (rejections deterministically fail requests),
+    a one-host fleet that saturates immediately, a short keep-alive so
+    evictions drain the admission queue mid-run, and an offered load well
+    above capacity -- every retry mechanism (backoff, re-admission, queueing,
+    give-up, per-attempt billing) fires within the run.
+    """
+    preset = get_platform_preset("aws_lambda_like")
+    preset = dataclasses.replace(
+        preset,
+        keep_alive=dataclasses.replace(
+            preset.keep_alive, min_keep_alive_s=1.0, max_keep_alive_s=1.0
+        ),
+    )
+    deployments = []
+    for index in range(3):
+        function = dataclasses.replace(
+            PYAES_FUNCTION.to_function_config(1.0, 2.0, init_duration_s=0.5),
+            name=f"fn-{index:02d}",
+        )
+        deployments.append(
+            FunctionDeployment(function=function, platform=preset, rps=5.0, duration_s=6.0)
+        )
+    return ClusterSimulator(
+        deployments,
+        fleet_config=FleetConfig(
+            host_spec=HostSpec(vcpus=2.0, memory_gb=4.0),
+            max_hosts=1,
+            queue_depth=4,
+            sample_interval_s=2.0,
+        ),
+        billing_platform="aws_lambda",
+        seed=SEED,
+        feedback="on",
+        retry=RETRY_POLICY,
+    )
+
+
+def _snapshot() -> dict:
+    simulator = _scenario()
+    result = simulator.run()
+    meter = result.meter
+    return {
+        "seed": SEED,
+        "summary": result.summary(),
+        # Each billed attempt invoiced separately: the user-side cost of
+        # retry amplification, keyed by attempt number.
+        "invoice_by_attempt": {
+            str(attempt): cost
+            for attempt, cost in sorted(meter.cost_usd_by_attempt.items())
+        },
+        "retries_scheduled": simulator.retry.retries_scheduled,
+        "gave_up": simulator.retry.gave_up,
+    }
+
+
+def test_retry_backpressure_scenario_matches_golden_float_exact():
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; regenerate with "
+        "'PYTHONPATH=src python tests/test_retry_golden.py'"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = _snapshot()
+    # Field-by-field == on floats: bit-exact, no tolerance.  A failure here
+    # means retry timing, event ordering or billing arithmetic changed.
+    assert current == golden
+
+
+def test_golden_scenario_exercises_every_retry_mechanism():
+    """The pin is only worth its bytes if the scenario is non-trivial."""
+    snapshot = _snapshot()
+    summary = snapshot["summary"]
+    assert summary["retried_requests"] > 0
+    assert summary["gave_up_requests"] > 0
+    assert summary["retry_amplification"] > 1.0
+    assert summary["admitted_from_queue"] > 0  # the queue genuinely drained
+    assert len(snapshot["invoice_by_attempt"]) >= 2  # retried attempts billed
+
+
+def regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_snapshot(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()
