@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Kernel / co-simulation throughput benchmark -- the perf half of the
+observability PR.
+
+Standalone script (deliberately *not* named ``test_*``: the pytest harness in
+this directory regenerates paper figures; this one measures the simulation
+substrate itself).  Four timed runs at fixed seeds:
+
+- ``kernel_events``: raw heap-event dispatch through ``SimulationKernel.step``
+  (a self-rescheduling handler chain), count cross-checked against an
+  attached :class:`~repro.obs.profile.KernelProfiler`;
+- ``bus_publish``: typed pub/sub dispatch through ``EventBus.publish`` with a
+  realistic subscriber mix (exact type + MRO base);
+- ``cluster_requests``: one full cluster co-simulation (platform + fleet +
+  billing + scheduler in one kernel), events = completed requests so
+  ``events_per_s`` reads as requests/second;
+- ``sweep``: a small sequential backpressure grid, events = result rows.
+
+Output is ``BENCH_kernel.json`` at the repo root (schema:
+``{"area": "kernel", "runs": [{name, seed, events, wall_s, events_per_s}]}``)
+so later PRs can diff the measured perf trajectory.  ``--quick`` shrinks every
+run for CI smoke use.
+
+Usage::
+
+    python benchmarks/bench_kernel.py            # full sizes, writes BENCH_kernel.json
+    python benchmarks/bench_kernel.py --quick    # CI smoke sizes
+    python benchmarks/bench_kernel.py --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.profile import KernelProfiler  # noqa: E402
+from repro.sim.events import EventBus, RequestCompleted, SimEvent  # noqa: E402
+from repro.sim.kernel import SimulationKernel  # noqa: E402
+
+#: Seed shared by every run: the benchmark measures speed, not statistics,
+#: and a fixed seed keeps event counts identical run-to-run.
+SEED = 2026
+
+
+def bench_kernel_events(num_events: int) -> Dict[str, object]:
+    """Raw heap throughput: one self-rescheduling event chain of known length."""
+    kernel = SimulationKernel()
+    profiler = KernelProfiler()
+    profiler.install(kernel)
+    state = {"fired": 0}
+
+    def tick(event) -> None:
+        state["fired"] += 1
+        if state["fired"] < num_events:
+            kernel.schedule_in(0.001, "tick")
+
+    kernel.on("tick", tick)
+    kernel.schedule(0.0, "tick")
+    start = perf_counter()
+    kernel.run()
+    wall_s = perf_counter() - start
+    fired = state["fired"]
+    profiled = profiler.snapshot().count_of("tick")
+    if fired != num_events or profiled != num_events:
+        raise AssertionError(
+            f"kernel_events miscount: fired={fired} profiled={profiled} expected={num_events}"
+        )
+    return {"name": "kernel_events", "seed": SEED, "events": fired, "wall_s": wall_s}
+
+
+def bench_bus_publish(num_events: int) -> Dict[str, object]:
+    """Typed pub/sub throughput with an exact-type and a base-type subscriber."""
+
+    @dataclasses.dataclass(frozen=True)
+    class BenchEvent(SimEvent):
+        value: int = 0
+
+    bus = EventBus()
+    state = {"exact": 0, "base": 0}
+    bus.subscribe(BenchEvent, lambda event: state.__setitem__("exact", state["exact"] + 1))
+    bus.subscribe(SimEvent, lambda event: state.__setitem__("base", state["base"] + 1))
+    events = [BenchEvent(time_s=float(index), value=index) for index in range(num_events)]
+    start = perf_counter()
+    for event in events:
+        bus.publish(event)
+    wall_s = perf_counter() - start
+    if state["exact"] != num_events or state["base"] != num_events:
+        raise AssertionError(f"bus_publish miscount: {state} expected={num_events}")
+    return {"name": "bus_publish", "seed": SEED, "events": num_events, "wall_s": wall_s}
+
+
+def bench_cluster_requests(duration_s: float) -> Dict[str, object]:
+    """One co-simulated cluster point; events = completed requests."""
+    from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+    from repro.cluster.fleet import FleetConfig
+    from repro.cluster.host import HostSpec
+    from repro.obs import Observability
+    from repro.platform.presets import get_platform_preset
+    from repro.workloads.functions import get_workload
+
+    preset = get_platform_preset("gcp_run_like")
+    workload = get_workload("pyaes")
+    deployments = []
+    for index in range(8):
+        function = dataclasses.replace(
+            workload.to_function_config(1.0, 2.0, init_duration_s=1.0),
+            name=f"fn-{index:03d}",
+        )
+        deployments.append(
+            FunctionDeployment(
+                function=function, platform=preset, rps=4.0, duration_s=duration_s
+            )
+        )
+    obs = Observability(telemetry_interval_s=None, trace=False)
+    simulator = ClusterSimulator(
+        deployments,
+        fleet_config=FleetConfig(host_spec=HostSpec(vcpus=16.0, memory_gb=64.0)),
+        billing_platform="gcp_run_request",
+        seed=SEED,
+        feedback="on",
+        obs=obs,
+    )
+    start = perf_counter()
+    result = simulator.run()
+    wall_s = perf_counter() - start
+    completed = sum(m.num_requests for m in result.metrics.values())
+    arrivals = sum(m.arrivals for m in result.metrics.values())
+    # The profiler's publish tally must agree with the domain metrics: every
+    # completion crossed the bus exactly once.
+    published = obs.kernel_profile().publishes.get("RequestCompleted")
+    if published is None or published["count"] != completed:
+        raise AssertionError(
+            f"cluster_requests miscount: published={published} completed={completed}"
+        )
+    if arrivals < completed:
+        raise AssertionError(f"arrivals {arrivals} < completed {completed}")
+    return {"name": "cluster_requests", "seed": SEED, "events": completed, "wall_s": wall_s}
+
+
+def bench_sweep(duration_s: float) -> Dict[str, object]:
+    """Sequential backpressure grid wall-clock; events = result rows."""
+    from repro.analysis.backpressure import backpressure_sweep
+
+    axes = {
+        "queue_depth": (0, 4),
+        "placement_policy": ("best_fit",),
+        "heterogeneity": ("homogeneous", "two_tier"),
+    }
+    start = perf_counter()
+    store = backpressure_sweep(
+        axes=axes, common={"duration_s": duration_s, "feedback": "on"}, base_seed=SEED
+    )
+    wall_s = perf_counter() - start
+    if len(store) != 4:
+        raise AssertionError(f"sweep produced {len(store)} rows, expected 4")
+    return {"name": "sweep", "seed": SEED, "events": len(store), "wall_s": wall_s}
+
+
+def run_benchmarks(quick: bool) -> Dict[str, object]:
+    runs: List[Dict[str, object]] = [
+        bench_kernel_events(20_000 if quick else 200_000),
+        bench_bus_publish(20_000 if quick else 200_000),
+        bench_cluster_requests(10.0 if quick else 60.0),
+        bench_sweep(10.0 if quick else 30.0),
+    ]
+    for run in runs:
+        wall_s = float(run["wall_s"])  # type: ignore[arg-type]
+        run["wall_s"] = round(wall_s, 6)
+        run["events_per_s"] = round(float(run["events"]) / wall_s, 3) if wall_s > 0 else 0.0  # type: ignore[arg-type]
+    return {"area": "kernel", "runs": runs}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes (~seconds)")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_kernel.json"),
+        help="Output JSON path (default: BENCH_kernel.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmarks(quick=args.quick)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    for run in payload["runs"]:  # type: ignore[union-attr]
+        print(
+            f"{run['name']:>20}: {run['events']:>8} events in {run['wall_s']:>9.4f}s "
+            f"({run['events_per_s']:>12.1f} events/s)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,13 @@ def _scheduler(seed: int, horizon_s: float):
     return SchedulerSim(config, tasks)
 
 
+def _resolve_obs(params: Mapping[str, object]):
+    """Observability for points that asked for artifacts (import deferred)."""
+    from repro.obs import obs_from_params
+
+    return obs_from_params(params)
+
+
 def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     """Sweep runner: one backpressure co-simulation grid point.
 
@@ -142,6 +149,12 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     ``mean_attempts`` / ``gave_up_requests`` / ``retry_amplification``
     columns.  When the ``retry`` param is absent entirely the row is
     byte-identical to the pre-retry output.
+
+    ``trace_out`` / ``telemetry_out`` / ``profile_out`` (file paths) attach
+    the observability layer for this point and write its artifacts after the
+    run: a Chrome-trace JSON (``.jsonl`` for raw span lines), the sampled
+    telemetry series as CSV, and the kernel profile as JSON.  Observers only
+    read the bus, so the returned row is byte-identical with or without them.
 
     Imports stay inside the function so the runner is resolvable by dotted
     path in sweep worker processes without import cycles.
@@ -172,6 +185,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     with_scheduler = bool(params.get("with_scheduler", True))
     feedback = str(params.get("feedback", "off"))
     retry_mode, retry_policy = resolve_retry(params)
+    obs = _resolve_obs(params)
 
     # Rescale the preset's keep-alive window so its max hits ``keep_alive_s``
     # (preserving the min/max ratio).  A window shorter than the traffic
@@ -221,8 +235,13 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
         seed=seed,
         feedback=feedback,
         retry=retry_policy,
+        obs=obs,
     )
     result = simulator.run()
+    if obs is not None:
+        from repro.obs import write_obs_artifacts
+
+        write_obs_artifacts(obs, params)
 
     row: Dict[str, object] = {
         "queue_depth_bound": queue_depth,
@@ -248,6 +267,7 @@ def backpressure_sweep(
     base_seed: int = 2026,
     processes: Optional[int] = None,
     ordered: bool = True,
+    first_point_extra: Optional[Mapping[str, object]] = None,
 ) -> ResultStore:
     """Run the backpressure grid through the sweep orchestrator.
 
@@ -255,6 +275,12 @@ def backpressure_sweep(
     points vary widely in cost (queue depth and heterogeneity change event
     counts), which is exactly where unordered pools beat fixed chunking.  The
     collected rows are identical either way.
+
+    ``first_point_extra`` merges extra params into the *first* grid point
+    only -- how the CLI attaches ``trace_out``/``telemetry_out`` artifact
+    paths to a single representative point without every worker racing to
+    write the same files.  Scenario seeds derive from grid identity, not
+    params, so the extra keys leave every row byte-identical.
     """
     scenarios = build_grid(
         runner="repro.analysis.backpressure:backpressure_point",
@@ -262,6 +288,10 @@ def backpressure_sweep(
         common=common,
         base_seed=base_seed,
     )
+    if first_point_extra:
+        scenarios[0] = dataclasses.replace(
+            scenarios[0], params={**scenarios[0].params, **first_point_extra}
+        )
     return run_sweep(scenarios, processes=processes, ordered=ordered)
 
 

@@ -53,6 +53,13 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     retry columns, and when the param is absent entirely rows stay
     byte-identical to the pre-retry output).
 
+    Observability params (all optional, all passive): ``trace_out``
+    (request-span export path; ``.jsonl`` for span lines, anything else for
+    Chrome ``trace_event`` JSON), ``telemetry_out`` (sampled time-series
+    CSV), ``profile_out`` (kernel profile JSON).  Any of them attaches a
+    :class:`repro.obs.Observability` to the run; rows stay byte-identical
+    either way.
+
     Imports stay inside the function so the runner is resolvable by dotted
     path in sweep worker processes without import cycles.
     """
@@ -113,6 +120,9 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
 
     feedback = str(params.get("feedback", "off"))
     retry_mode, retry_policy = resolve_retry(params)
+    from repro.obs import obs_from_params, write_obs_artifacts
+
+    obs = obs_from_params(params)
     simulator = ClusterSimulator(
         deployments,
         fleet_config=FleetConfig(
@@ -124,8 +134,10 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
         seed=seed,
         feedback=feedback,
         retry=retry_policy,
+        obs=obs,
     )
     result = simulator.run()
+    write_obs_artifacts(obs, params)
 
     row: Dict[str, object] = {
         "num_functions": num_functions,
@@ -150,11 +162,17 @@ def cluster_cost_sweep(
     base_seed: int = 2026,
     processes: Optional[int] = None,
     ordered: bool = True,
+    first_point_extra: Optional[Mapping[str, object]] = None,
 ) -> ResultStore:
     """Run the cluster-cost grid through the sweep orchestrator.
 
     ``ordered=False`` uses work-stealing pool execution (identical rows,
     better worker utilisation on heterogeneous grids).
+
+    ``first_point_extra`` merges extra params into the *first* grid point
+    only -- how the CLI attaches ``trace_out``/``telemetry_out`` artifact
+    paths to a single representative point.  Seeds derive from grid
+    identity, not params, so the rows are unchanged.
     """
     scenarios = build_grid(
         runner="repro.analysis.cluster_costs:cluster_point",
@@ -162,6 +180,10 @@ def cluster_cost_sweep(
         common=common,
         base_seed=base_seed,
     )
+    if first_point_extra:
+        scenarios[0] = dataclasses.replace(
+            scenarios[0], params={**scenarios[0].params, **first_point_extra}
+        )
     return run_sweep(scenarios, processes=processes, ordered=ordered)
 
 

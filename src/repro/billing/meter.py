@@ -229,6 +229,18 @@ class CostMeter:
         self._price_class_resolver = fleet.price_class_of
         return self
 
+    def register_metrics(self, registry) -> "CostMeter":
+        """Expose the live invoice as observability gauges (pure reads).
+
+        ``billed_cost_usd`` is the running user-side total the telemetry
+        sampler turns into a cost-over-time series -- the live counterpart of
+        the end-of-run ``totals()`` row.
+        """
+        registry.gauge("billed_cost_usd", fn=lambda: float(self.cost_usd))
+        registry.gauge("billed_requests", fn=lambda: float(self.num_requests))
+        registry.gauge("billed_instance_seconds", fn=lambda: float(self.instance_seconds))
+        return self
+
     def _resolve_price_class(self, sandbox_name: str) -> Optional[str]:
         if self._price_class_resolver is None or not sandbox_name:
             return None

@@ -6,8 +6,10 @@ Usage::
     repro-serverless-costs run figure2
     repro-serverless-costs run all --format markdown
     repro-serverless-costs trace --requests 50000 --output trace.csv
+    repro-serverless-costs trace --simulate backpressure --retry on --trace-out run_trace.json
     repro-serverless-costs sweep --processes 4 --output sweep.csv
     repro-serverless-costs cluster --fleet-sizes 8,16 --policies best_fit,worst_fit --output cluster.csv
+    repro-serverless-costs cluster --trace-out cluster_trace.json --telemetry-out cluster_tel.csv
     repro-serverless-costs backpressure --queue-depths 0,8 --policies best_fit,cost_fit --output bp.csv
     repro-serverless-costs backpressure --feedback on --unordered --processes 4 --output bp_fb.csv
     repro-serverless-costs backpressure --feedback on --retry off,on --output bp_retry.csv
@@ -47,11 +49,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "markdown"), default="text", help="Output table format"
     )
 
-    trace_parser = subparsers.add_parser("trace", help="Generate a synthetic Huawei-like trace")
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="Generate a synthetic trace, or record an execution trace of one simulation",
+        description=(
+            "Two modes.  Default: generate a synthetic Huawei-like request trace CSV "
+            "(requires --output).  With --simulate: run one observed cluster or "
+            "backpressure co-simulation and export its request spans / telemetry / "
+            "kernel profile (requires at least one of --trace-out, --telemetry-out, "
+            "--profile-out).  Observers only read, so the simulated run is "
+            "byte-identical to the same seed without them."
+        ),
+    )
     trace_parser.add_argument("--requests", type=int, default=50_000, help="Number of requests")
     trace_parser.add_argument("--functions", type=int, default=200, help="Number of functions")
     trace_parser.add_argument("--seed", type=int, default=2026, help="PRNG seed")
-    trace_parser.add_argument("--output", required=True, help="Output CSV path")
+    trace_parser.add_argument(
+        "--output", help="Output CSV path (required in trace-generation mode)"
+    )
+    trace_parser.add_argument(
+        "--simulate",
+        choices=("cluster", "backpressure"),
+        help="Record one co-simulation instead of generating a synthetic trace",
+    )
+    trace_parser.add_argument(
+        "--trace-out",
+        help="Request-span export path (.jsonl for span lines, else Chrome trace JSON)",
+    )
+    trace_parser.add_argument(
+        "--telemetry-out", help="Sampled time-series CSV path (queue depth, cost, utilisation)"
+    )
+    trace_parser.add_argument("--profile-out", help="Kernel profile JSON path")
+    trace_parser.add_argument(
+        "--feedback",
+        choices=("off", "on"),
+        default="on",
+        help="Close the state loop in the simulated run (default: on, so traces show failures)",
+    )
+    trace_parser.add_argument(
+        "--retry",
+        choices=("off", "on"),
+        default="off",
+        help="Client retry loop in the simulated run (retried spans link to their parents)",
+    )
+    trace_parser.add_argument(
+        "--queue-depth", type=int, default=4, help="Admission-queue bound (backpressure mode)"
+    )
+    trace_parser.add_argument(
+        "--duration-s", type=float, default=30.0, help="Traffic duration of the simulated run"
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -177,6 +223,17 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
     cluster_parser.add_argument("--output", help="Also write the result rows to this CSV path")
     cluster_parser.add_argument(
+        "--trace-out",
+        help=(
+            "Record the first grid point's request spans to this path "
+            "(.jsonl for span lines, else Chrome trace JSON); rows are unchanged"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--telemetry-out",
+        help="Record the first grid point's sampled time-series to this CSV; rows are unchanged",
+    )
+    cluster_parser.add_argument(
         "--format", choices=("text", "markdown"), default="text", help="Output table format"
     )
 
@@ -274,6 +331,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     backpressure_parser.add_argument("--output", help="Also write the result rows to this CSV path")
     backpressure_parser.add_argument(
+        "--trace-out",
+        help=(
+            "Record the first grid point's request spans to this path "
+            "(.jsonl for span lines, else Chrome trace JSON); rows are unchanged"
+        ),
+    )
+    backpressure_parser.add_argument(
+        "--telemetry-out",
+        help="Record the first grid point's sampled time-series to this CSV; rows are unchanged",
+    )
+    backpressure_parser.add_argument(
         "--format", choices=("text", "markdown"), default="text", help="Output table format"
     )
     return parser
@@ -293,6 +361,28 @@ def _warn_inert_retry(feedback: str, retry_active: bool) -> None:
             "(requests only fail in the closed loop); add --feedback on",
             file=sys.stderr,
         )
+
+
+def _obs_first_point_extra(args: "argparse.Namespace"):
+    """Artifact params for the first grid point, from --trace-out/--telemetry-out.
+
+    Returns ``None`` when neither flag was given (no obs attached anywhere);
+    otherwise prints where the recording lands, because the artifacts cover
+    one representative point, not the whole grid.
+    """
+    extra = {}
+    if getattr(args, "trace_out", None):
+        extra["trace_out"] = args.trace_out
+    if getattr(args, "telemetry_out", None):
+        extra["telemetry_out"] = args.telemetry_out
+    if not extra:
+        return None
+    print(
+        "recording observability artifacts for the first grid point: "
+        + ", ".join(f"{key}={value}" for key, value in sorted(extra.items())),
+        file=sys.stderr,
+    )
+    return extra
 
 
 def _error_message(error: BaseException) -> str:
@@ -329,14 +419,64 @@ def _cmd_run(experiment: str, output_format: str) -> int:
     return 0
 
 
-def _cmd_trace(requests: int, functions: int, seed: int, output: str) -> int:
+def _cmd_trace(args: "argparse.Namespace") -> int:
+    if args.simulate:
+        return _cmd_trace_simulate(args)
+    if not args.output:
+        print("trace generation needs --output (or pass --simulate to record a run)", file=sys.stderr)
+        return 2
+
     from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
     from repro.traces.io import write_requests_csv
 
-    config = TraceGeneratorConfig(num_requests=requests, num_functions=functions, seed=seed)
+    config = TraceGeneratorConfig(
+        num_requests=args.requests, num_functions=args.functions, seed=args.seed
+    )
     trace = TraceGenerator(config).generate()
-    count = write_requests_csv(output, trace.requests)
-    print(f"wrote {count} requests to {output}")
+    count = write_requests_csv(args.output, trace.requests)
+    print(f"wrote {count} requests to {args.output}")
+    return 0
+
+
+def _cmd_trace_simulate(args: "argparse.Namespace") -> int:
+    """Run one observed co-simulation point and export its obs artifacts."""
+    artifacts = {
+        "trace_out": args.trace_out,
+        "telemetry_out": args.telemetry_out,
+        "profile_out": args.profile_out,
+    }
+    if not any(artifacts.values()):
+        print(
+            "trace --simulate needs at least one of --trace-out/--telemetry-out/--profile-out",
+            file=sys.stderr,
+        )
+        return 2
+    _warn_inert_retry(args.feedback, args.retry == "on")
+    params = {
+        "duration_s": args.duration_s,
+        "feedback": args.feedback,
+        **{key: value for key, value in artifacts.items() if value},
+    }
+    if args.retry != "off":
+        params["retry"] = args.retry
+    if args.simulate == "backpressure":
+        from repro.analysis.backpressure import backpressure_point as runner
+
+        params.update(
+            queue_depth=args.queue_depth,
+            placement_policy="best_fit",
+            heterogeneity="homogeneous",
+        )
+    else:
+        from repro.analysis.cluster_costs import cluster_point as runner
+
+        params.update(num_functions=4, placement_policy="best_fit", keep_alive_s=60.0)
+    row = runner(params, seed=args.seed)
+    print(f"== trace --simulate {args.simulate} (seed {args.seed}) ==")
+    print(render_table([row]))
+    for key, value in sorted(artifacts.items()):
+        if value:
+            print(f"wrote {key.replace('_out', '')} artifact to {value}")
     return 0
 
 
@@ -416,6 +556,7 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
             base_seed=args.seed,
             processes=args.processes,
             ordered=not args.unordered,
+            first_point_extra=_obs_first_point_extra(args),
         )
     except (KeyError, ValueError) as error:
         print(_error_message(error), file=sys.stderr)
@@ -475,6 +616,7 @@ def _cmd_backpressure(args: "argparse.Namespace") -> int:
             base_seed=args.seed,
             processes=args.processes,
             ordered=not args.unordered,
+            first_point_extra=_obs_first_point_extra(args),
         )
     except (KeyError, ValueError) as error:
         print(_error_message(error), file=sys.stderr)
@@ -499,7 +641,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args.experiment, args.format)
     if args.command == "trace":
-        return _cmd_trace(args.requests, args.functions, args.seed, args.output)
+        return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "cluster":

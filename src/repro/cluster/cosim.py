@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.billing.meter import CostMeter, RequestResources
 from repro.cluster.fleet import Fleet, FleetConfig
+from repro.obs import Observability
 from repro.platform.config import FunctionConfig, PlatformConfig
 from repro.platform.invoker import PlatformSimulator
 from repro.platform.metrics import SimulationMetrics
@@ -82,6 +83,10 @@ class ClusterResult:
     meter: Optional[CostMeter]
     scheduler: Optional[SimulationResult] = None
     retry: Optional[RetryLoop] = None
+    #: The observability bundle attached to the run (None when untraced).
+    #: Deliberately not part of summary(): rows stay byte-identical with obs
+    #: on or off, which is the layer's core guarantee.
+    obs: Optional[Observability] = None
 
     def summary(self) -> Dict[str, float]:
         """One flat row combining request-, fleet-, cost- and scheduler-level outcomes."""
@@ -194,6 +199,13 @@ class ClusterSimulator:
     summary columns).  Requests only *fail* when the feedback layer is on;
     with ``feedback="off"`` a retry policy is inert.  ``retry=None`` (the
     default) byte-reproduces the pre-retry outputs.
+
+    ``obs`` (an :class:`~repro.obs.Observability`) attaches the passive
+    observability layer: a trace collector stitching per-request spans off
+    the shared bus, a telemetry process sampling every layer's live gauges
+    on the kernel grid, and an opt-in kernel profiler.  Observers only read,
+    so a run with ``obs`` attached produces byte-identical results to the
+    same seed without it; ``obs=None`` (the default) does not even subscribe.
     """
 
     def __init__(
@@ -206,6 +218,7 @@ class ClusterSimulator:
         feedback: str = "off",
         price_class_multipliers: Optional[Mapping[str, float]] = None,
         retry: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not deployments:
             raise ValueError("a cluster simulation needs at least one deployment")
@@ -220,6 +233,13 @@ class ClusterSimulator:
         self.kernel = SimulationKernel()
         #: The shared bus every simulator forwards its events to.
         self.bus = EventBus()
+        #: Passive observability: trace collector, telemetry sampler and
+        #: kernel profiler subscribe to the shared bus/kernel here, *before*
+        #: any domain subscriber exists -- observers only read, so their
+        #: position in dispatch order cannot change simulation state.
+        self.obs = obs
+        if obs is not None:
+            obs.attach(self.kernel, self.bus)
         #: The execution-feedback channel (None with feedback="off").
         self.feedback: Optional[FeedbackChannel] = (
             FeedbackChannel().attach(self.bus) if feedback == "on" else None
@@ -267,6 +287,9 @@ class ClusterSimulator:
                 name=name,
                 feedback=self.feedback,
                 retry=self.retry,
+                # Request-level span markers are only worth publishing when a
+                # collector is listening on the shared bus.
+                emit_spans=obs is not None,
             )
             if self.retry is not None:
                 self.retry.register(name, simulator)
@@ -275,6 +298,41 @@ class ClusterSimulator:
                 # allocation/usage context, which the shared bus does not carry.
                 self.meter.attach(simulator.bus, deployment.resources())
             self.simulators[name] = simulator
+        if obs is not None:
+            self._register_gauges(obs)
+
+    def _register_gauges(self, obs: Observability) -> None:
+        """Wire every layer's live state into the telemetry registry.
+
+        All gauges are pure reads of state the layers maintain anyway;
+        sampling them on the telemetry grid cannot perturb the simulation.
+        """
+        self.fleet.register_metrics(obs.registry)
+        if self.meter is not None:
+            self.meter.register_metrics(obs.registry)
+        if self.scheduler is not None:
+            self.scheduler.register_metrics(obs.registry)
+        if self.retry is not None:
+            self.retry.register_metrics(obs.registry)
+            # Retry backlog: re-injections scheduled but not yet re-arrived
+            # (or censored past the horizon).
+            obs.registry.gauge(
+                "retry_backlog",
+                fn=lambda: float(self.retry.retries_scheduled)
+                - float(sum(s.metrics.retry_arrivals for s in self.simulators.values())),
+            )
+        obs.registry.gauge(
+            "in_flight_requests",
+            fn=lambda: float(
+                sum(s.in_flight_request_count for s in self.simulators.values())
+            ),
+        )
+        obs.registry.gauge(
+            "pending_requests",
+            fn=lambda: float(
+                sum(s.pending_request_count for s in self.simulators.values())
+            ),
+        )
 
     def _arrivals(self, deployment: FunctionDeployment) -> List[float]:
         if deployment.arrival_process == "poisson":
@@ -305,6 +363,8 @@ class ClusterSimulator:
             simulator.metrics.pending_requests = simulator.pending_request_count
         if self.meter is not None:
             self.meter.finalize(horizon)
+        if self.obs is not None:
+            self.obs.finalize(horizon)
         return ClusterResult(
             horizon_s=horizon,
             metrics={name: sim.metrics for name, sim in self.simulators.items()},
@@ -312,4 +372,5 @@ class ClusterSimulator:
             meter=self.meter,
             scheduler=self.scheduler.finalize() if self.scheduler is not None else None,
             retry=self.retry,
+            obs=self.obs,
         )

@@ -208,6 +208,27 @@ class Fleet:
         self._meter = meter
         return self
 
+    def register_metrics(self, registry) -> "Fleet":
+        """Expose live fleet state as observability gauges (pure reads).
+
+        The gauges read the same accessors :meth:`sample` does, so a
+        telemetry tick observes exactly the state the periodic timeline
+        records -- without appending to it.
+        """
+        registry.gauge("fleet_queue_depth", fn=lambda: float(len(self.queue)))
+        registry.gauge("fleet_hosts_open", fn=lambda: float(len(self.hosts)))
+        registry.gauge("fleet_sandboxes_placed", fn=lambda: float(self.num_placed))
+        registry.gauge(
+            "fleet_mean_cpu_utilization",
+            fn=lambda: (
+                sum(h.cpu_utilization for h in self.hosts) / len(self.hosts)
+                if self.hosts
+                else 0.0
+            ),
+        )
+        registry.gauge("fleet_hourly_cost_usd", fn=lambda: float(self.hourly_cost_usd))
+        return self
+
     def _publish(self, event) -> None:
         if self._bus is not None:
             self._bus.publish(event)

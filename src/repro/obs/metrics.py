@@ -1,0 +1,206 @@
+"""Metric primitives for the observability layer: counters, gauges, histograms.
+
+These are deliberately tiny ``__slots__`` classes: every simulator event may
+touch one, so construction and update must cost a couple of attribute writes
+and nothing more.  A :class:`MetricsRegistry` names them; the polled
+:class:`~repro.obs.telemetry.TelemetryProcess` samples the registry on a
+fixed grid and turns point-in-time values into ring-buffered series.
+
+Nothing in this module touches simulation state: counters and histograms are
+written by bus subscribers, gauges *read* live state through a callback the
+owning layer registered (fleet queue depth, live metered cost, scheduler
+throttle set).  Sampling a gauge therefore never mutates the thing it
+observes -- the property the byte-invisibility guarantee of ``repro.obs``
+rests on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile"]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """A percentile that is defined for *every* input.
+
+    The edge cases ``np.quantile`` raises on (empty series, out-of-range
+    ``q``) come up constantly in telemetry -- a histogram sampled before the
+    first request, a summary column asked for ``q=95`` instead of ``0.95``.
+    This helper never raises:
+
+    - empty input returns ``nan`` (the repo-wide "no data" marker),
+    - a single sample is every percentile of itself,
+    - ``q`` above 1 is interpreted as a percent (``95`` -> ``0.95``),
+    - ``q`` is clamped into ``[0, 1]`` after normalisation,
+    - otherwise the result matches ``np.quantile``'s linear interpolation.
+    """
+    seq = [float(v) for v in values]
+    if not seq:
+        return float("nan")
+    qn = float(q)
+    if qn > 1.0:
+        qn /= 100.0
+    qn = min(max(qn, 0.0), 1.0)
+    if len(seq) == 1:
+        return seq[0]
+    return float(np.quantile(seq, qn))
+
+
+class Counter:
+    """A monotonically increasing count (arrivals, retries, cold starts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def read(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value: set directly or backed by a read callback.
+
+    Callback-backed gauges are how domain layers expose live state (fleet
+    queue depth, metered cost) without the telemetry layer importing them:
+    the layer registers ``lambda: <read some attribute>`` and the sampler
+    calls it on its grid.  Callbacks must be pure reads.
+    """
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def read(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram:
+    """A streaming distribution: exact count/sum, bounded sample window.
+
+    Keeps running ``count``/``total``/``min``/``max`` exactly and the most
+    recent ``capacity`` observations in a ring buffer for percentiles --
+    bounded memory no matter how many requests a run completes.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_window")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._window: Deque[float] = deque(maxlen=capacity)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._window.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Percentile over the retained window (never raises; see module helper)."""
+        return percentile(self._window, q)
+
+    def read(self) -> float:
+        """Samplable view of a histogram: its observation count."""
+        return float(self.count)
+
+    def summary(self, percentiles: Iterable[float] = (0.5, 0.95, 0.99)) -> Dict[str, float]:
+        row: Dict[str, float] = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+        }
+        for q in percentiles:
+            label = q * 100.0 if q <= 1.0 else q
+            row[f"p{label:g}"] = self.percentile(q)
+        return row
+
+
+class MetricsRegistry:
+    """Named metric instruments, get-or-create, insertion-ordered.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: asking twice for the
+    same name returns the same instrument (so several layers can share one
+    counter), while asking for an existing name with a *different* kind is a
+    wiring bug and raises.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory: Callable[[], object]) -> object:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(existing).__name__}, "
+                    f"not {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))  # type: ignore[return-value]
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, fn))
+        if fn is not None and gauge._fn is None:  # rebind a plain gauge to a reader
+            gauge._fn = fn  # type: ignore[union-attr]
+        return gauge  # type: ignore[return-value]
+
+    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            name, Histogram, lambda: Histogram(name, capacity)
+        )
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def sample(self) -> Dict[str, float]:
+        """Point-in-time values of every instrument (histograms as counts)."""
+        return {name: metric.read() for name, metric in self._metrics.items()}  # type: ignore[attr-defined]
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {n: m for n, m in self._metrics.items() if isinstance(m, Histogram)}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full structured dump: scalars for counters/gauges, summaries for histograms."""
+        out: Dict[str, object] = {}
+        for name, metric in self._metrics.items():
+            out[name] = metric.summary() if isinstance(metric, Histogram) else metric.read()  # type: ignore[attr-defined]
+        return out

@@ -1,0 +1,195 @@
+"""Opt-in kernel profiling: where do a run's events and wall-time go?
+
+The :class:`~repro.sim.kernel.SimulationKernel` and
+:class:`~repro.sim.events.EventBus` each carry a dormant profiler slot
+(``set_profiler``).  With no profiler installed -- the default everywhere --
+their hot paths take the exact pre-profiling branch: no ``perf_counter``
+call, no dict lookup, nothing.  With a :class:`KernelProfiler` installed the
+kernel reports every dispatched event (kind, post-pop heap depth, handler
+wall-time), every cancel and every prune, and the bus reports every publish
+(event type, subscriber fan-out, dispatch wall-time).
+
+:meth:`KernelProfiler.snapshot` freezes the tallies into a
+:class:`KernelProfile` -- the record ``benchmarks/bench_kernel.py`` uses to
+verify its measured event counts and the ``trace`` CLI prints per-kind
+tables from.
+
+Profiling measures *host* wall-time, so it is the one obs component whose
+output is not seed-reproducible; the simulation results it observes still
+are (the profiler only reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["KernelProfile", "KernelProfiler"]
+
+
+class _KindStats:
+    """Per-event-kind tallies (count + accumulated handler wall-time)."""
+
+    __slots__ = ("count", "wall_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.wall_s = 0.0
+
+
+class _PublishStats:
+    """Per-event-type bus tallies (publishes, delivered callbacks, wall-time)."""
+
+    __slots__ = ("count", "fanout", "wall_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.fanout = 0
+        self.wall_s = 0.0
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """An immutable snapshot of one profiled run."""
+
+    #: total heap + polled events dispatched by the kernel.
+    events_total: int
+    #: of those, polled-process handler invocations.
+    process_events: int
+    #: events cancelled before firing.
+    cancels: int
+    #: cancelled events popped (pruned) off the heap without dispatch.
+    prunes: int
+    #: deepest heap observed at dispatch time.
+    max_heap_depth: int
+    #: per event kind: {"count": n, "wall_s": t} (polled processes appear
+    #: under ``process:<TypeName>``).
+    by_kind: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per published bus event type: {"count", "fanout", "wall_s"}.
+    publishes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def publish_total(self) -> int:
+        return int(sum(stats["count"] for stats in self.publishes.values()))
+
+    def count_of(self, kind: str) -> int:
+        """Dispatched-event count of one kernel event kind (0 if never seen)."""
+        stats = self.by_kind.get(kind)
+        return int(stats["count"]) if stats else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events_total": self.events_total,
+            "process_events": self.process_events,
+            "cancels": self.cancels,
+            "prunes": self.prunes,
+            "max_heap_depth": self.max_heap_depth,
+            "by_kind": self.by_kind,
+            "publishes": self.publishes,
+        }
+
+    def table(self) -> List[str]:
+        """Human-readable per-kind lines, busiest kind first."""
+        lines = [
+            f"events={self.events_total} (process={self.process_events}) "
+            f"cancels={self.cancels} prunes={self.prunes} "
+            f"max_heap_depth={self.max_heap_depth} publishes={self.publish_total}"
+        ]
+        ranked = sorted(self.by_kind.items(), key=lambda kv: -kv[1]["count"])
+        for kind, stats in ranked:
+            lines.append(
+                f"  {kind:<40s} {int(stats['count']):>9d} events  {stats['wall_s'] * 1e3:10.3f} ms"
+            )
+        ranked_pub = sorted(self.publishes.items(), key=lambda kv: -kv[1]["count"])
+        for name, stats in ranked_pub:
+            lines.append(
+                f"  publish:{name:<32s} {int(stats['count']):>9d} x{stats['fanout'] / stats['count']:.1f}"
+                f" fan-out  {stats['wall_s'] * 1e3:10.3f} ms"
+            )
+        return lines
+
+
+class KernelProfiler:
+    """Mutable tally sink the kernel and bus report into when installed."""
+
+    __slots__ = ("_by_kind", "_publishes", "events_total", "process_events",
+                 "cancels", "prunes", "max_heap_depth")
+
+    def __init__(self) -> None:
+        self._by_kind: Dict[str, _KindStats] = {}
+        self._publishes: Dict[str, _PublishStats] = {}
+        self.events_total = 0
+        self.process_events = 0
+        self.cancels = 0
+        self.prunes = 0
+        self.max_heap_depth = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def install(self, kernel, bus=None) -> "KernelProfiler":
+        """Install on a kernel (and optionally its bus) via their opt-in slots."""
+        kernel.set_profiler(self)
+        if bus is not None:
+            bus.set_profiler(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Hooks called from the kernel / bus hot paths (profiler installed only)
+    # ------------------------------------------------------------------
+
+    def record_event(self, kind: str, heap_depth: int, wall_s: float) -> None:
+        self.events_total += 1
+        if heap_depth > self.max_heap_depth:
+            self.max_heap_depth = heap_depth
+        stats = self._by_kind.get(kind)
+        if stats is None:
+            stats = self._by_kind[kind] = _KindStats()
+        stats.count += 1
+        stats.wall_s += wall_s
+
+    def record_process(self, type_name: str, wall_s: float) -> None:
+        self.events_total += 1
+        self.process_events += 1
+        kind = f"process:{type_name}"
+        stats = self._by_kind.get(kind)
+        if stats is None:
+            stats = self._by_kind[kind] = _KindStats()
+        stats.count += 1
+        stats.wall_s += wall_s
+
+    def record_cancel(self) -> None:
+        self.cancels += 1
+
+    def record_prunes(self, count: int) -> None:
+        self.prunes += count
+
+    def record_publish(self, type_name: str, fanout: int, wall_s: float) -> None:
+        stats = self._publishes.get(type_name)
+        if stats is None:
+            stats = self._publishes[type_name] = _PublishStats()
+        stats.count += 1
+        stats.fanout += fanout
+        stats.wall_s += wall_s
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> KernelProfile:
+        return KernelProfile(
+            events_total=self.events_total,
+            process_events=self.process_events,
+            cancels=self.cancels,
+            prunes=self.prunes,
+            max_heap_depth=self.max_heap_depth,
+            by_kind={
+                kind: {"count": float(s.count), "wall_s": s.wall_s}
+                for kind, s in self._by_kind.items()
+            },
+            publishes={
+                name: {"count": float(s.count), "fanout": float(s.fanout), "wall_s": s.wall_s}
+                for name, s in self._publishes.items()
+            },
+        )

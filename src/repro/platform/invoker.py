@@ -39,7 +39,9 @@ from repro.sim.events import (
     EventBus,
     InstanceCountChanged,
     KeepAliveExpired,
+    RequestArrived,
     RequestCompleted,
+    RequestExecuting,
     RequestFailed,
     SandboxAdmitted,
     SandboxBusy,
@@ -103,6 +105,8 @@ class PlatformSimulator:
         name: str = "",
         feedback: Optional[FeedbackChannel] = None,
         retry: Optional[RetryLoop] = None,
+        obs=None,
+        emit_spans: bool = False,
     ) -> None:
         self.platform = platform
         self.function = function
@@ -130,12 +134,20 @@ class PlatformSimulator:
         # their metrics.
         self._feedback = feedback
         self._retry = retry
+        # Span emission (RequestArrived / RequestExecuting markers) is gated:
+        # without an observer these per-request publishes are pure overhead.
+        # A co-simulation host sets emit_spans for its shared-bus collector;
+        # a standalone obs= attaches to this simulator's own kernel and bus.
+        self._obs = obs
+        self._emit_spans = emit_spans or obs is not None
         self.bus = EventBus()
         self.bus.subscribe(RequestCompleted, self._record_outcome)
         self.bus.subscribe(RequestFailed, self._record_failure)
         self.bus.subscribe(InstanceCountChanged, self._record_instances)
         if bus is not None:
             self.bus.subscribe(SimEvent, bus.publish)
+        if obs is not None:
+            obs.attach(self._kernel, self.bus)
         self._autoscaler: Optional[Autoscaler] = None
         if platform.autoscaler is not None:
             self._autoscaler = Autoscaler(
@@ -179,6 +191,8 @@ class PlatformSimulator:
         horizon_s = self.schedule_arrivals(arrivals, horizon_s)
         self._kernel.run(until=horizon_s + _EPS)
         self.metrics.pending_requests = self.pending_request_count
+        if self._obs is not None:
+            self._obs.finalize(horizon_s)
         return self.metrics
 
     @property
@@ -242,19 +256,36 @@ class PlatformSimulator:
         attempts = int(event.data.get("attempts", 1))
         retry_wait_s = float(event.data.get("retry_wait_s", 0.0))
         self.metrics.record_arrival(attempts)
+        if self._emit_spans:
+            self.bus.publish(
+                RequestArrived(
+                    self._now,
+                    request_id,
+                    function_name=self.function.name,
+                    attempts=attempts,
+                    retry_wait_s=retry_wait_s,
+                    parent_id=str(event.data.get("parent_id", "")),
+                )
+            )
         self._route(request_id, self._now, attempts=attempts, retry_wait_s=retry_wait_s)
 
-    def inject_retry(self, delay_s: float, attempts: int, retry_wait_s: float) -> None:
+    def inject_retry(
+        self, delay_s: float, attempts: int, retry_wait_s: float, parent_id: str = ""
+    ) -> None:
         """Re-inject a failed request as a fresh arrival ``delay_s`` from now.
 
         Called by the :class:`~repro.sim.retry.RetryLoop` from inside the
         failing event's bus publish.  The arrival gets a new request id from
         the same counter as organic traffic and re-enters the full routing /
         cold-start / fleet-admission path, so retry load experiences -- and
-        adds to -- the same backpressure that failed it.
+        adds to -- the same backpressure that failed it.  ``parent_id`` (the
+        failed attempt's request id) rides on the kernel event so the trace
+        layer can link the retry chain; it does not affect simulation state.
         """
         self._kernel.schedule_in(
-            delay_s, self._kind("arrival"), {"attempts": attempts, "retry_wait_s": retry_wait_s}
+            delay_s,
+            self._kind("arrival"),
+            {"attempts": attempts, "retry_wait_s": retry_wait_s, "parent_id": parent_id},
         )
 
     def _route(
@@ -457,6 +488,16 @@ class PlatformSimulator:
         was_busy = sandbox.state is SandboxState.BUSY
         sandbox.admit(request, self._now)
         self._refresh_rate_factor(sandbox)
+        if self._emit_spans:
+            self.bus.publish(
+                RequestExecuting(
+                    self._now,
+                    request_id,
+                    sandbox_name=sandbox.name,
+                    cold_start=cold,
+                    rate_factor=sandbox.rate_factor,
+                )
+            )
         if not was_busy:
             self.bus.publish(SandboxBusy(self._now, sandbox.name, sandbox.concurrency))
         self._schedule_completion_check(sandbox)

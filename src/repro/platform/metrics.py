@@ -176,8 +176,24 @@ class SimulationMetrics:
         return float(np.mean(durations)) if durations else float("nan")
 
     def percentile_execution_duration_s(self, q: float) -> float:
-        durations = self.execution_durations_s()
-        return float(np.quantile(durations, q)) if durations else float("nan")
+        """Execution-duration percentile, defined for every input.
+
+        Telemetry histograms and sweep summaries hit the edge cases
+        constantly -- an empty run, a single completed request, a caller
+        passing ``95`` instead of ``0.95`` -- so this delegates to
+        :func:`repro.obs.metrics.percentile`, which never raises: empty
+        series return ``nan``, a single sample is every percentile of
+        itself, and percent-style ``q`` is normalised.
+        """
+        from repro.obs.metrics import percentile
+
+        return percentile(self.execution_durations_s(), q)
+
+    def percentile_end_to_end_latency_s(self, q: float) -> float:
+        """End-to-end latency percentile, with the same total-domain contract."""
+        from repro.obs.metrics import percentile
+
+        return percentile(self.end_to_end_latencies_s(), q)
 
     def cold_start_rate(self) -> float:
         if not self.requests:

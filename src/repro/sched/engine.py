@@ -249,6 +249,30 @@ class SchedulerSim:
         kernel.add_process(self)
         return self
 
+    def register_metrics(self, registry) -> "SchedulerSim":
+        """Expose live scheduling state as observability gauges (pure reads).
+
+        ``sched_throttled_tasks`` is the set currently parked by bandwidth
+        control, ``sched_runnable_tasks`` the run-queue population, and
+        ``sched_service_rate`` the most recently published feedback factor
+        (1.0 without a feedback channel) -- the telemetry sampler turns these
+        into the throttle-pressure series the summary scalars hide.
+        """
+        registry.gauge(
+            "sched_throttled_tasks", fn=lambda: float(len(self._throttle_wait_since))
+        )
+        registry.gauge(
+            "sched_runnable_tasks",
+            fn=lambda: float(sum(len(queue) for queue in self._runqueues.values())),
+        )
+        registry.gauge(
+            "sched_service_rate",
+            fn=lambda: (
+                self._fb_rate.service_rate(self._now) if self._fb_rate is not None else 1.0
+            ),
+        )
+        return self
+
     def finalize(self) -> SimulationResult:
         """Collect results after a shared-kernel run (idempotent).
 

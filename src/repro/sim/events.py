@@ -19,14 +19,18 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Type
 
 __all__ = [
     "EventBus",
     "InstanceCountChanged",
     "KeepAliveExpired",
+    "RequestArrived",
     "RequestCompleted",
+    "RequestExecuting",
     "RequestFailed",
+    "RetryScheduled",
     "SandboxAdmitted",
     "SandboxBusy",
     "SandboxColdStart",
@@ -45,6 +49,55 @@ class SimEvent:
     """Base class for all bus events; carries the simulation time."""
 
     time_s: float
+
+
+@dataclass(frozen=True)
+class RequestArrived(SimEvent):
+    """A request entered the platform (organic arrival or retry re-injection).
+
+    Published by the platform simulator only when span emission is enabled
+    (an observability layer is attached) -- the hot path stays allocation-free
+    otherwise.  ``parent_id`` is the request id of the failed attempt this
+    arrival retries (empty for organic, attempt-1 traffic); the trace layer
+    uses it to link retry chains.
+    """
+
+    request_id: str
+    function_name: str = ""
+    attempts: int = 1
+    retry_wait_s: float = 0.0
+    parent_id: str = ""
+
+
+@dataclass(frozen=True)
+class RequestExecuting(SimEvent):
+    """A request was admitted into a sandbox and (modulo contention) started.
+
+    Published under the same span-emission gate as :class:`RequestArrived`.
+    ``cold_start`` marks requests that waited for the sandbox's cold
+    initialisation; ``rate_factor`` is the feedback-layer service rate the
+    sandbox is running at (1.0 without feedback).
+    """
+
+    request_id: str
+    sandbox_name: str = ""
+    cold_start: bool = False
+    rate_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class RetryScheduled(SimEvent):
+    """The client retry loop scheduled a failed request's re-injection.
+
+    ``request_id`` is the *failed* attempt (the parent of the upcoming
+    arrival); the re-injected arrival fires ``delay_s`` later and will carry
+    ``next_attempt`` as its attempt number.
+    """
+
+    request_id: str
+    function_name: str = ""
+    next_attempt: int = 2
+    delay_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -187,6 +240,13 @@ class EventBus:
 
     def __init__(self) -> None:
         self._subscribers: Dict[Type[SimEvent], List[Subscriber]] = {}
+        # Dormant profiling slot (see repro.obs.profile): None keeps publish()
+        # on the exact pre-profiling path.
+        self._profiler = None
+
+    def set_profiler(self, profiler) -> None:
+        """Install an opt-in publish profiler (``None`` restores the fast path)."""
+        self._profiler = profiler
 
     def subscribe(self, event_type: Type[SimEvent], callback: Subscriber) -> Subscriber:
         """Register ``callback`` for events of ``event_type`` (or subclasses)."""
@@ -201,11 +261,23 @@ class EventBus:
 
     def publish(self, event: SimEvent) -> None:
         """Deliver ``event`` to all matching subscribers in deterministic order."""
+        profiler = self._profiler
+        if profiler is None:
+            for klass in type(event).__mro__:
+                if klass is object:
+                    break
+                for callback in tuple(self._subscribers.get(klass, ())):
+                    callback(event)
+            return
+        start = perf_counter()
+        fanout = 0
         for klass in type(event).__mro__:
             if klass is object:
                 break
             for callback in tuple(self._subscribers.get(klass, ())):
                 callback(event)
+                fanout += 1
+        profiler.record_publish(type(event).__name__, fanout, perf_counter() - start)
 
     def subscriber_count(self, event_type: Type[SimEvent]) -> int:
         """Number of direct subscriptions for ``event_type`` (diagnostics)."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 __all__ = ["Event", "PeriodicProcess", "SimProcess", "SimulationKernel"]
@@ -109,6 +110,13 @@ class SimulationKernel:
         # used by run loops would otherwise poll twice per event.  Invalidated
         # by schedule/cancel/add_process and consumed by step().
         self._poll_cache: Optional[Tuple[Optional[SimProcess], float]] = None
+        # Dormant profiling slot (see repro.obs.profile): None keeps step(),
+        # cancel() and _prune() on the exact pre-profiling paths.
+        self._profiler = None
+
+    def set_profiler(self, profiler) -> None:
+        """Install an opt-in event profiler (``None`` restores the fast path)."""
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # Clock and registration
@@ -151,14 +159,24 @@ class SimulationKernel:
         """Mark a scheduled event as cancelled; it is skipped when popped."""
         event.cancelled = True
         self._poll_cache = None
+        if self._profiler is not None:
+            self._profiler.record_cancel()
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def _prune(self) -> None:
+        if self._profiler is None:
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            return
+        pruned = 0
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            pruned += 1
+        if pruned:
+            self._profiler.record_prunes(pruned)
 
     def _poll_processes(self) -> Tuple[Optional[SimProcess], float]:
         """The registered process with the earliest next event (cached until consumed)."""
@@ -200,6 +218,7 @@ class SimulationKernel:
         heap_time = self._heap[0].time if self._heap else None
         if heap_time is None and process is None:
             return None
+        profiler = self._profiler
         if process is None or (heap_time is not None and heap_time <= process_time):
             event = heapq.heappop(self._heap)
             self._poll_cache = None
@@ -207,7 +226,12 @@ class SimulationKernel:
             handler = self._handlers.get(event.kind, self._default_handler)
             if handler is None:
                 raise KeyError(f"no handler registered for event kind {event.kind!r}")
-            handler(event)
+            if profiler is None:
+                handler(event)
+            else:
+                start = perf_counter()
+                handler(event)
+                profiler.record_event(event.kind, len(self._heap), perf_counter() - start)
             return event
         self._poll_cache = None
         # Hand the process the *raw* polled time: a process whose
@@ -215,7 +239,12 @@ class SimulationKernel:
         # detect it (the scheduler engine raises on backwards time) rather
         # than having the kernel silently clamp the error away.
         self._now = max(self._now, process_time)
-        process.handle(process_time)
+        if profiler is None:
+            process.handle(process_time)
+        else:
+            start = perf_counter()
+            process.handle(process_time)
+            profiler.record_process(type(process).__name__, perf_counter() - start)
         return Event(self._now, -1, "process", {"process": process})
 
     def pause(self) -> None:

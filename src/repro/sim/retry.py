@@ -41,7 +41,7 @@ from typing import Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
-from repro.sim.events import EventBus, RequestFailed
+from repro.sim.events import EventBus, RequestFailed, RetryScheduled
 from repro.sim.rng import RngStreams
 
 __all__ = ["RetryPolicy", "RetryLoop", "RetryInjector", "resolve_retry"]
@@ -73,7 +73,9 @@ class RetryInjector(Protocol):
     a protocol so the sim layer does not import the platform layer.
     """
 
-    def inject_retry(self, delay_s: float, attempts: int, retry_wait_s: float) -> None:
+    def inject_retry(
+        self, delay_s: float, attempts: int, retry_wait_s: float, parent_id: str = ""
+    ) -> None:
         ...
 
 
@@ -178,6 +180,7 @@ class RetryLoop:
         self._streams = RngStreams(seed)
         self._simulators: Dict[str, RetryInjector] = {}
         self._budget_spent: Dict[str, int] = {}
+        self._bus: Optional[EventBus] = None
         #: retries the loop re-injected (scheduled; late ones may fall beyond
         #: the run horizon and never fire as arrivals).
         self.retries_scheduled = 0
@@ -190,7 +193,18 @@ class RetryLoop:
 
     def attach(self, bus: EventBus) -> "RetryLoop":
         """Catch ``RequestFailed`` events published on ``bus``."""
+        self._bus = bus
         bus.subscribe(RequestFailed, self._on_failed)
+        return self
+
+    def register_metrics(self, registry) -> "RetryLoop":
+        """Expose the loop's live counters as observability gauges.
+
+        Pure reads: the gauges report the counters the loop maintains anyway,
+        so sampling them cannot perturb retry behaviour.
+        """
+        registry.gauge("retries_scheduled_total", fn=lambda: float(self.retries_scheduled))
+        registry.gauge("retry_gave_up_total", fn=lambda: float(self.gave_up))
         return self
 
     def register(self, name: str, simulator: RetryInjector) -> None:
@@ -249,6 +263,24 @@ class RetryLoop:
         delay = self.policy.backoff_s(attempts, self._streams.stream("retry", name))
         self._budget_spent[name] = self._budget_spent.get(name, 0) + 1
         self.retries_scheduled += 1
+        parent_id = str(getattr(failure, "request_id", ""))
         simulator.inject_retry(
-            delay, attempts + 1, float(getattr(failure, "retry_wait_s", 0.0)) + delay
+            delay,
+            attempts + 1,
+            float(getattr(failure, "retry_wait_s", 0.0)) + delay,
+            parent_id=parent_id,
         )
+        if self._bus is not None:
+            # Trace/telemetry marker for the re-injection decision.  Published
+            # unconditionally once attached (failures are rare); subscribers
+            # only exist when an observability layer is listening, and the
+            # event itself mutates nothing, so un-observed runs are unchanged.
+            self._bus.publish(
+                RetryScheduled(
+                    event.time_s,
+                    parent_id,
+                    function_name=name,
+                    next_attempt=attempts + 1,
+                    delay_s=delay,
+                )
+            )

@@ -85,3 +85,70 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+    def test_trace_generation_without_output_fails(self, capsys):
+        assert main(["trace"]) == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_trace_simulate_without_artifact_flags_fails(self, capsys):
+        assert main(["trace", "--simulate", "backpressure"]) == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_trace_simulate_backpressure_writes_artifacts(self, tmp_path, capsys):
+        trace_out = tmp_path / "trace.json"
+        telemetry_out = tmp_path / "telemetry.csv"
+        profile_out = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "trace", "--simulate", "backpressure", "--duration-s", "10",
+                    "--retry", "on",
+                    "--trace-out", str(trace_out),
+                    "--telemetry-out", str(telemetry_out),
+                    "--profile-out", str(profile_out),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        document = json.loads(trace_out.read_text())
+        assert validate_chrome_trace(document["traceEvents"]) > 0
+        assert telemetry_out.read_text().startswith("time_s")
+        assert json.loads(profile_out.read_text())["events_total"] > 0
+        assert "wrote trace artifact" in capsys.readouterr().out
+
+    def test_trace_simulate_cluster_jsonl(self, tmp_path, capsys):
+        trace_out = tmp_path / "spans.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "--simulate", "cluster", "--duration-s", "10",
+                    "--trace-out", str(trace_out),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        lines = [json.loads(line) for line in trace_out.read_text().splitlines()]
+        assert lines and all("kind" in line for line in lines)
+
+    def test_cluster_trace_out_records_first_point_only(self, tmp_path, capsys):
+        trace_out = tmp_path / "cluster_trace.json"
+        rows_out = tmp_path / "rows.csv"
+        plain_rows = tmp_path / "plain.csv"
+        args = [
+            "cluster", "--fleet-sizes", "4", "--policies", "first_fit,best_fit",
+            "--keep-alive-s", "60", "--duration-s", "10",
+        ]
+        assert main(args + ["--output", str(plain_rows)]) == 0
+        assert (
+            main(args + ["--output", str(rows_out), "--trace-out", str(trace_out)]) == 0
+        )
+        assert trace_out.exists()
+        # The recording rides along without changing a byte of the rows.
+        assert rows_out.read_bytes() == plain_rows.read_bytes()
+        assert "first grid point" in capsys.readouterr().err

@@ -1,0 +1,117 @@
+"""Kernel profiling: opt-in hooks count exactly what the kernel dispatched."""
+
+import dataclasses
+
+from repro.obs.profile import KernelProfiler
+from repro.sim.events import EventBus, SimEvent
+from repro.sim.kernel import PeriodicProcess, SimulationKernel
+
+
+@dataclasses.dataclass(frozen=True)
+class _Ping(SimEvent):
+    value: int = 0
+
+
+class TestKernelProfiler:
+    def test_dormant_by_default(self):
+        kernel = SimulationKernel()
+        bus = EventBus()
+        assert kernel._profiler is None
+        assert bus._profiler is None
+
+    def test_counts_heap_events_by_kind(self):
+        kernel = SimulationKernel()
+        profiler = KernelProfiler().install(kernel)
+        kernel.on("a", lambda event: None)
+        kernel.on("b", lambda event: None)
+        for t in (1.0, 2.0, 3.0):
+            kernel.schedule(t, "a")
+        kernel.schedule(4.0, "b")
+        kernel.run()
+        profile = profiler.snapshot()
+        assert profile.count_of("a") == 3
+        assert profile.count_of("b") == 1
+        assert profile.events_total == 4
+        assert profile.by_kind["a"]["wall_s"] >= 0.0
+
+    def test_counts_cancels_and_prunes(self):
+        kernel = SimulationKernel()
+        profiler = KernelProfiler().install(kernel)
+        kernel.on("a", lambda event: None)
+        keep = kernel.schedule(1.0, "a")
+        doomed = [kernel.schedule(2.0 + i, "a") for i in range(5)]
+        for event in doomed:
+            kernel.cancel(event)
+        kernel.run()
+        profile = profiler.snapshot()
+        assert profile.cancels == 5
+        assert profile.prunes == 5
+        assert profile.count_of("a") == 1
+        del keep
+
+    def test_max_heap_depth(self):
+        kernel = SimulationKernel()
+        profiler = KernelProfiler().install(kernel)
+        kernel.on("a", lambda event: None)
+        for t in range(10):
+            kernel.schedule(float(t), "a")
+        kernel.run()
+        # Depth is observed after the pop: 10 scheduled -> 9 behind the first.
+        assert profiler.snapshot().max_heap_depth == 9
+
+    def test_counts_polled_processes(self):
+        kernel = SimulationKernel()
+        profiler = KernelProfiler().install(kernel)
+        ticks = []
+        process = PeriodicProcess(1.0, ticks.append)
+        kernel.add_process(process)
+        kernel.schedule(5.0, "noop")
+        kernel.on("noop", lambda event: None)
+        kernel.run(until=5.0)
+        profile = profiler.snapshot()
+        assert profile.process_events == len(ticks) == 6  # t = 0..5
+        assert profile.count_of("process:PeriodicProcess") == 6
+
+    def test_counts_bus_publishes_and_fanout(self):
+        bus = EventBus()
+        profiler = KernelProfiler().install(SimulationKernel(), bus)
+        bus.subscribe(_Ping, lambda event: None)
+        bus.subscribe(_Ping, lambda event: None)
+        bus.subscribe(SimEvent, lambda event: None)
+        for index in range(4):
+            bus.publish(_Ping(time_s=float(index), value=index))
+        profile = profiler.snapshot()
+        stats = profile.publishes["_Ping"]
+        assert stats["count"] == 4
+        assert stats["fanout"] == 12  # 3 subscribers x 4 publishes
+        assert profile.publish_total == 4
+
+    def test_table_renders(self):
+        kernel = SimulationKernel()
+        profiler = KernelProfiler().install(kernel)
+        kernel.on("a", lambda event: None)
+        kernel.schedule(1.0, "a")
+        kernel.run()
+        lines = profiler.snapshot().table()
+        assert any("a" in line for line in lines[1:])
+        assert lines[0].startswith("events=1")
+
+
+class TestProfiledRunsMatchUnprofiled:
+    def test_same_event_sequence_with_and_without_profiler(self):
+        """The dual code paths dispatch identically; the profiler only counts."""
+
+        def run(profiled):
+            kernel = SimulationKernel()
+            if profiled:
+                KernelProfiler().install(kernel)
+            fired = []
+            kernel.on("a", lambda event: fired.append((kernel.now, event.kind)))
+            kernel.on("b", lambda event: fired.append((kernel.now, event.kind)))
+            kernel.schedule(2.0, "b")
+            kernel.schedule(1.0, "a")
+            kernel.schedule(2.0, "a")
+            kernel.run()
+            return fired
+
+        assert run(profiled=False) == run(profiled=True)

@@ -108,7 +108,7 @@ class _Recorder:
     def __init__(self):
         self.injected = []
 
-    def inject_retry(self, delay_s, attempts, retry_wait_s):
+    def inject_retry(self, delay_s, attempts, retry_wait_s, parent_id=""):
         self.injected.append((delay_s, attempts, retry_wait_s))
 
 
