@@ -1,12 +1,11 @@
 #!/usr/bin/env python
-"""Kernel / co-simulation throughput benchmark -- the perf half of the
-observability PR.
+"""Kernel / co-simulation throughput benchmark -- the repo's perf gate.
 
 Standalone script (deliberately *not* named ``test_*``: the pytest harness in
 this directory regenerates paper figures; this one measures the simulation
-substrate itself).  Four timed runs at fixed seeds:
+substrate itself).  Six timed runs at fixed seeds:
 
-- ``kernel_events``: raw heap-event dispatch through ``SimulationKernel.step``
+- ``kernel_events``: raw heap-event dispatch through ``SimulationKernel.run``
   (a self-rescheduling handler chain), count cross-checked against an
   attached :class:`~repro.obs.profile.KernelProfiler`;
 - ``bus_publish``: typed pub/sub dispatch through ``EventBus.publish`` with a
@@ -14,18 +13,34 @@ substrate itself).  Four timed runs at fixed seeds:
 - ``cluster_requests``: one full cluster co-simulation (platform + fleet +
   billing + scheduler in one kernel), events = completed requests so
   ``events_per_s`` reads as requests/second;
-- ``sweep``: a small sequential backpressure grid, events = result rows.
+- ``sweep``: a small sequential backpressure grid, events = result rows;
+- ``million_events``: the ``kernel_events`` chain at scale (1M events in the
+  full configuration), profiler-verified;
+- ``million_requests``: a 1M-request cluster run on one core with *streamed*
+  arrivals (``ArrivalSource`` chunks, ``retain_outcomes=False``) -- the run
+  asserts the kernel heap stayed bounded and no per-request outcome objects
+  were retained, i.e. memory does not scale with the request count.
 
-Output is ``BENCH_kernel.json`` at the repo root (schema:
-``{"area": "kernel", "runs": [{name, seed, events, wall_s, events_per_s}]}``)
-so later PRs can diff the measured perf trajectory.  ``--quick`` shrinks every
-run for CI smoke use.
+Short timed runs repeat several times and report the best (minimum) wall
+clock -- the standard defence against scheduler noise on a shared single
+core; the repeat count is recorded in each run's ``config``.  Event counts
+are seed-deterministic and must be identical across repeats (asserted).
+
+Output is ``BENCH_kernel.json`` at the repo root (schema: ``{"area":
+"kernel", "runs": [{name, seed, events, wall_s, events_per_s, config}]}``)
+so later PRs can diff the measured perf trajectory.  ``--quick`` shrinks
+every run for CI smoke use.  ``--baseline PATH`` compares against a previous
+output file after running: per-run events/s deltas are printed (advisory --
+wall clock is machine-dependent), but an *event-count* difference between
+runs with identical configs is a determinism regression and fails the
+script.
 
 Usage::
 
     python benchmarks/bench_kernel.py            # full sizes, writes BENCH_kernel.json
     python benchmarks/bench_kernel.py --quick    # CI smoke sizes
     python benchmarks/bench_kernel.py --output /tmp/bench.json
+    python benchmarks/bench_kernel.py --quick --baseline BENCH_kernel.json
 """
 
 from __future__ import annotations
@@ -36,7 +51,7 @@ import json
 import sys
 from pathlib import Path
 from time import perf_counter
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -50,7 +65,28 @@ from repro.sim.kernel import SimulationKernel  # noqa: E402
 SEED = 2026
 
 
-def bench_kernel_events(num_events: int) -> Dict[str, object]:
+def _best_of(make_run: Callable[[], Dict[str, object]], repeats: int) -> Dict[str, object]:
+    """Run a benchmark ``repeats`` times, keep the fastest wall clock.
+
+    The event count is deterministic, so repeats must agree on it exactly;
+    only the timing varies with machine noise.
+    """
+    best: Optional[Dict[str, object]] = None
+    for _ in range(max(1, repeats)):
+        run = make_run()
+        if best is not None and run["events"] != best["events"]:
+            raise AssertionError(
+                f"{run['name']}: event count changed across repeats "
+                f"({best['events']} != {run['events']}) -- the run is not deterministic"
+            )
+        if best is None or run["wall_s"] < best["wall_s"]:
+            best = run
+    assert best is not None
+    best["config"]["repeats"] = max(1, repeats)  # type: ignore[index]
+    return best
+
+
+def bench_kernel_events(num_events: int, name: str = "kernel_events") -> Dict[str, object]:
     """Raw heap throughput: one self-rescheduling event chain of known length."""
     kernel = SimulationKernel()
     profiler = KernelProfiler()
@@ -71,9 +107,20 @@ def bench_kernel_events(num_events: int) -> Dict[str, object]:
     profiled = profiler.snapshot().count_of("tick")
     if fired != num_events or profiled != num_events:
         raise AssertionError(
-            f"kernel_events miscount: fired={fired} profiled={profiled} expected={num_events}"
+            f"{name} miscount: fired={fired} profiled={profiled} expected={num_events}"
         )
-    return {"name": "kernel_events", "seed": SEED, "events": fired, "wall_s": wall_s}
+    return {
+        "name": name,
+        "seed": SEED,
+        "events": fired,
+        "wall_s": wall_s,
+        "config": {"num_events": num_events},
+    }
+
+
+def bench_million_events(num_events: int) -> Dict[str, object]:
+    """The kernel chain at million-event scale, profiler-verified."""
+    return bench_kernel_events(num_events, name="million_events")
 
 
 def bench_bus_publish(num_events: int) -> Dict[str, object]:
@@ -94,7 +141,13 @@ def bench_bus_publish(num_events: int) -> Dict[str, object]:
     wall_s = perf_counter() - start
     if state["exact"] != num_events or state["base"] != num_events:
         raise AssertionError(f"bus_publish miscount: {state} expected={num_events}")
-    return {"name": "bus_publish", "seed": SEED, "events": num_events, "wall_s": wall_s}
+    return {
+        "name": "bus_publish",
+        "seed": SEED,
+        "events": num_events,
+        "wall_s": wall_s,
+        "config": {"num_events": num_events},
+    }
 
 
 def bench_cluster_requests(duration_s: float) -> Dict[str, object]:
@@ -142,7 +195,101 @@ def bench_cluster_requests(duration_s: float) -> Dict[str, object]:
         )
     if arrivals < completed:
         raise AssertionError(f"arrivals {arrivals} < completed {completed}")
-    return {"name": "cluster_requests", "seed": SEED, "events": completed, "wall_s": wall_s}
+    return {
+        "name": "cluster_requests",
+        "seed": SEED,
+        "events": completed,
+        "wall_s": wall_s,
+        "config": {"duration_s": duration_s, "functions": 8, "rps": 4.0},
+    }
+
+
+def bench_million_requests(num_requests: int) -> Dict[str, object]:
+    """A million-request cluster run on one core with bounded memory.
+
+    Arrivals are *streamed* (chunked ``ArrivalSource`` scheduling, tie-break
+    ranks reserved up front) and ``retain_outcomes=False`` drops per-request
+    outcome objects at record time, so neither the kernel heap nor the
+    metrics layer ever holds the full request population.  Both properties
+    are asserted, not assumed: the profiler's ``max_heap_depth`` must stay a
+    small multiple of the arrival chunk size, and the retained-outcome lists
+    must be empty.
+    """
+    from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+    from repro.obs import Observability
+    from repro.platform.presets import get_platform_preset
+    from repro.sim.arrivals import DEFAULT_CHUNK_SIZE
+    from repro.workloads.functions import get_workload
+
+    functions = 4
+    rps = 250.0
+    duration_s = num_requests / (functions * rps)
+    preset = get_platform_preset("gcp_run_like")
+    workload = get_workload("pyaes")
+    deployments = []
+    for index in range(functions):
+        function = dataclasses.replace(
+            workload.to_function_config(1.0, 2.0, init_duration_s=1.0),
+            name=f"fn-{index:03d}",
+        )
+        deployments.append(
+            FunctionDeployment(
+                function=function, platform=preset, rps=rps, duration_s=duration_s
+            )
+        )
+    obs = Observability(telemetry_interval_s=None, trace=False)
+    simulator = ClusterSimulator(
+        deployments,
+        seed=SEED,
+        feedback="off",
+        obs=obs,
+        retain_outcomes=False,
+    )
+    # The default drain tail is sized for lightly loaded sandboxes; at 250
+    # rps the final burst sits in one heavily contended sandbox and needs a
+    # few extra simulated seconds, so give the run an explicit horizon.
+    start = perf_counter()
+    result = simulator.run(horizon_s=duration_s + 120.0)
+    wall_s = perf_counter() - start
+    metrics = result.metrics.values()
+    arrivals = sum(m.arrivals for m in metrics)
+    completed = sum(m.num_requests for m in metrics)
+    failed = sum(m.failed_requests for m in metrics)
+    pending = sum(m.pending_requests for m in metrics)
+    if arrivals != num_requests:
+        raise AssertionError(
+            f"million_requests scheduled {arrivals} arrivals, expected {num_requests}"
+        )
+    if completed + failed + pending != arrivals:
+        raise AssertionError(
+            f"million_requests conservation violated: {completed}+{failed}+{pending} != {arrivals}"
+        )
+    retained = sum(len(m.requests) for m in metrics)
+    if retained:
+        raise AssertionError(f"million_requests retained {retained} outcome objects")
+    profile = obs.kernel_profile()
+    # Streamed arrivals keep at most one chunk per deployment pending; the
+    # rest of the heap is in-flight work, which is rate- not count-bound.
+    heap_bound = functions * DEFAULT_CHUNK_SIZE + 16_384
+    if profile.max_heap_depth >= heap_bound:
+        raise AssertionError(
+            f"million_requests heap grew to {profile.max_heap_depth} "
+            f"(bound {heap_bound}) -- arrivals were not streamed"
+        )
+    return {
+        "name": "million_requests",
+        "seed": SEED,
+        "events": completed,
+        "wall_s": wall_s,
+        "config": {
+            "num_requests": num_requests,
+            "functions": functions,
+            "rps": rps,
+            "arrival_process": "constant",
+            "retain_outcomes": False,
+            "max_heap_depth": profile.max_heap_depth,
+        },
+    }
 
 
 def bench_sweep(duration_s: float) -> Dict[str, object]:
@@ -161,21 +308,82 @@ def bench_sweep(duration_s: float) -> Dict[str, object]:
     wall_s = perf_counter() - start
     if len(store) != 4:
         raise AssertionError(f"sweep produced {len(store)} rows, expected 4")
-    return {"name": "sweep", "seed": SEED, "events": len(store), "wall_s": wall_s}
+    return {
+        "name": "sweep",
+        "seed": SEED,
+        "events": len(store),
+        "wall_s": wall_s,
+        "config": {"duration_s": duration_s, "grid_points": 4},
+    }
 
 
 def run_benchmarks(quick: bool) -> Dict[str, object]:
+    # Untimed warmup: the first seconds of a process run ~30% slower (cold
+    # caches, CPU frequency ramp), a cost best-of-N repeats of an
+    # already-cold run cannot absorb.  Promotion to steady-state speed takes
+    # sustained busy time, so warm up by wall clock, not event count.
+    warm_s = 0.0
+    while warm_s < 2.5:
+        warm_s += float(bench_kernel_events(200_000)["wall_s"])
     runs: List[Dict[str, object]] = [
-        bench_kernel_events(20_000 if quick else 200_000),
-        bench_bus_publish(20_000 if quick else 200_000),
-        bench_cluster_requests(10.0 if quick else 60.0),
-        bench_sweep(10.0 if quick else 30.0),
+        _best_of(lambda: bench_kernel_events(20_000 if quick else 200_000), repeats=5),
+        _best_of(lambda: bench_bus_publish(20_000 if quick else 200_000), repeats=5),
+        _best_of(lambda: bench_cluster_requests(10.0 if quick else 60.0), repeats=5),
+        _best_of(lambda: bench_sweep(10.0 if quick else 30.0), repeats=1),
+        _best_of(lambda: bench_million_events(100_000 if quick else 1_000_000), repeats=3),
+        _best_of(lambda: bench_million_requests(20_000 if quick else 1_000_000), repeats=1),
     ]
     for run in runs:
         wall_s = float(run["wall_s"])  # type: ignore[arg-type]
         run["wall_s"] = round(wall_s, 6)
         run["events_per_s"] = round(float(run["events"]) / wall_s, 3) if wall_s > 0 else 0.0  # type: ignore[arg-type]
     return {"area": "kernel", "runs": runs}
+
+
+def compare_to_baseline(payload: Dict[str, object], baseline_path: str) -> int:
+    """Print per-run deltas against a previous output file.
+
+    Wall-clock / throughput changes are advisory (machines differ; noise is
+    real).  An event-count change between two runs with *identical configs*
+    means the simulation itself changed behaviour under the same seed -- the
+    one thing this benchmark is allowed to hard-fail on.  Baselines written
+    by older versions of this script have no ``config`` field; their counts
+    are skipped, not compared.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_runs = {run["name"]: run for run in baseline.get("runs", [])}
+    failures: List[str] = []
+    print(f"--- comparison vs {baseline_path} ---")
+    for run in payload["runs"]:  # type: ignore[union-attr]
+        name = run["name"]
+        base = baseline_runs.pop(name, None)
+        if base is None:
+            print(f"{name:>20}: new run (no baseline entry)")
+            continue
+        same_config = "config" in base and base["config"] == run["config"]
+        base_rate = float(base.get("events_per_s", 0.0))
+        rate = float(run["events_per_s"])
+        delta = (rate / base_rate - 1.0) if base_rate > 0 else 0.0
+        note = "" if same_config else "  [config differs: rate advisory only]"
+        print(
+            f"{name:>20}: {base_rate:>12,.1f} -> {rate:>12,.1f} events/s "
+            f"({delta:+7.1%}){note}"
+        )
+        if same_config and int(base["events"]) != int(run["events"]):
+            failures.append(
+                f"{name}: event count {base['events']} -> {run['events']} "
+                "with identical config (determinism regression)"
+            )
+    for name in baseline_runs:
+        print(f"{name:>20}: present in baseline only (run removed?)")
+    if failures:
+        print("EVENT-COUNT MISMATCH (hard failure):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("event counts match on every comparable run (wall clock is advisory)")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -185,6 +393,12 @@ def main(argv=None) -> int:
         "--output",
         default=str(REPO_ROOT / "BENCH_kernel.json"),
         help="Output JSON path (default: BENCH_kernel.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="Previous output JSON to diff against (events/s advisory; "
+        "event-count mismatch on identical configs fails)",
     )
     args = parser.parse_args(argv)
     payload = run_benchmarks(quick=args.quick)
@@ -197,6 +411,8 @@ def main(argv=None) -> int:
             f"({run['events_per_s']:>12.1f} events/s)"
         )
     print(f"wrote {args.output}")
+    if args.baseline:
+        return compare_to_baseline(payload, args.baseline)
     return 0
 
 

@@ -54,7 +54,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.billing.calculator import BilledInvocation, BillingCalculator, InvocationBillingInput
 from repro.billing.models import BillableTime, BillingModel
-from repro.billing.units import ResourceKind
+from repro.billing.units import ResourceKind, apply_minimum, round_up
 from repro.sim.events import (
     EventBus,
     RequestCompleted,
@@ -190,14 +190,131 @@ class CostMeter:
 
     def attach(self, bus: EventBus, resources: Optional[RequestResources] = None) -> "CostMeter":
         """Subscribe to a bus; ``resources`` fills in what outcomes don't carry."""
-        bus.subscribe(
-            RequestCompleted, lambda event: self.meter_outcome(event.outcome, resources)
-        )
+        bus.subscribe(RequestCompleted, self._request_subscriber(resources))
         bus.subscribe(SandboxColdStart, self._on_cold_start)
         bus.subscribe(SandboxBusy, self._on_busy)
         bus.subscribe(SandboxIdle, self._on_idle)
         bus.subscribe(SandboxTerminated, self._on_terminated)
         return self
+
+    def _request_subscriber(self, resources: Optional[RequestResources]):
+        """The ``RequestCompleted`` callback for one bus.
+
+        With a fixed :class:`RequestResources` context, flat pricing and a
+        request-billed model -- the shape of every simulator run -- the only
+        per-request variables in Equation 1 are the billable duration and the
+        cold-start flag: allocations, usage quantities and the invocation fee
+        are per-function constants.  This compiles those constants once and
+        folds each outcome with a handful of multiply-adds instead of building
+        an ``InvocationBillingInput`` -> ``Invoice`` -> ``BilledInvocation``
+        object chain per request.  The arithmetic (operation order included)
+        mirrors :meth:`meter_request` exactly, so the running totals are
+        float-identical to the generic path -- which remains the fallback for
+        trace-record payloads, instance billing and zone multipliers.
+        """
+        if resources is None or self._instance_billed or self._price_class_multipliers is not None:
+            return lambda event: self.meter_outcome(event.outcome, resources)
+        calculator = self.calculator
+        model = calculator.model
+        probe = InvocationBillingInput(
+            execution_s=0.0,
+            init_s=0.0,
+            alloc_vcpus=resources.alloc_vcpus,
+            alloc_memory_gb=resources.alloc_memory_gb,
+            used_cpu_seconds=resources.used_cpu_seconds,
+            used_memory_gb=resources.used_memory_gb,
+        )
+        allocations = calculator.effective_allocations(probe)
+        usages = calculator.effective_usages(probe)
+        # Pre-rounded amounts, in the order the generic path iterates them:
+        # allocation-billed resources scale with billable time; usage-billed
+        # quantities are constant outright.
+        alloc_terms = []
+        for resource in model.allocation_resources:
+            amount = (
+                usages.get(resource.kind, 0.0)
+                if resource.use_consumption
+                else allocations.get(resource.kind, 0.0)
+            )
+            alloc_terms.append(
+                (resource.kind, resource.billable_amount(amount), resource.unit_price)
+            )
+        usage_terms = [
+            (resource.kind, resource.billable_amount(usages.get(resource.kind, 0.0)),
+             resource.unit_price)
+            for resource in model.usage_resources
+        ]
+        fee_charge = (
+            model.invocation_fee
+            if self.include_invocation_fee and model.invocation_fee > 0
+            else 0.0
+        )
+        cpu_billed_directly = any(
+            kind is ResourceKind.CPU for kind, _, _ in alloc_terms + usage_terms
+        )
+        embedded_cpu_alloc = (
+            allocations.get(ResourceKind.CPU, 0.0)
+            if model.cpu_embedded_in_memory and not cpu_billed_directly
+            else None
+        )
+        billable_time_kind = model.billable_time
+        time_granularity_s = model.time_granularity_s
+        minimum_time_s = model.minimum_time_s
+        used_cpu_seconds = resources.used_cpu_seconds
+        used_memory_gb = resources.used_memory_gb
+        kind_cpu = ResourceKind.CPU
+        kind_memory = ResourceKind.MEMORY
+        by_attempt = self.cost_usd_by_attempt
+        by_class = self.cost_usd_by_class
+
+        def on_completed(event: RequestCompleted) -> None:
+            outcome = event.outcome
+            execution_s = getattr(outcome, "execution_duration_s", None)
+            if execution_s is None or isinstance(outcome, RequestRecord):
+                self.meter_outcome(outcome, resources)
+                return
+            if billable_time_kind is BillableTime.EXECUTION:
+                raw = execution_s
+            elif billable_time_kind is BillableTime.TURNAROUND:
+                raw = execution_s + float(getattr(outcome, "init_duration_s", 0.0))
+            else:  # CPU_TIME (INSTANCE models never compile this path)
+                raw = used_cpu_seconds
+            billable_time = apply_minimum(round_up(raw, time_granularity_s), minimum_time_s)
+            total = 0.0
+            billable_cpu = 0.0
+            billable_memory = 0.0
+            for kind, rounded, unit_price in alloc_terms:
+                quantity = rounded * billable_time
+                total += quantity * unit_price
+                if kind is kind_cpu:
+                    billable_cpu += quantity
+                elif kind is kind_memory:
+                    billable_memory += quantity
+            for kind, quantity, unit_price in usage_terms:
+                total += quantity * unit_price
+                if kind is kind_cpu:
+                    billable_cpu += quantity
+                elif kind is kind_memory:
+                    billable_memory += quantity
+            if embedded_cpu_alloc is not None:
+                billable_cpu = embedded_cpu_alloc * billable_time
+            total += fee_charge
+            price_class = self._resolve_price_class(str(getattr(outcome, "sandbox_name", "")))
+            attempts = int(getattr(outcome, "attempts", 1))
+            self.num_requests += 1
+            if getattr(outcome, "cold_start", False):
+                self.num_cold_starts += 1
+            bucket = price_class if price_class is not None else "standard"
+            by_class[bucket] = by_class.get(bucket, 0.0) + total
+            self.cost_usd += total
+            by_attempt[attempts] = by_attempt.get(attempts, 0.0) + total
+            self.billable_cpu_seconds += billable_cpu
+            self.billable_memory_gb_seconds += billable_memory
+            self.actual_cpu_seconds += used_cpu_seconds
+            self.actual_memory_gb_seconds += used_memory_gb * execution_s
+            self.invocation_fee_usd += fee_charge
+
+        return on_completed
 
     def attach_admissions(self, bus: EventBus) -> "CostMeter":
         """Start instance lifespans at fleet *admission* instead of cold start.

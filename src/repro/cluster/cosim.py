@@ -40,12 +40,12 @@ from repro.platform.config import FunctionConfig, PlatformConfig
 from repro.platform.invoker import PlatformSimulator
 from repro.platform.metrics import SimulationMetrics
 from repro.sched.engine import SchedulerSim, SimulationResult
+from repro.sim.arrivals import ArrivalSource, ConstantRateSource, PoissonSource
 from repro.sim.events import EventBus
 from repro.sim.feedback import FeedbackChannel
 from repro.sim.kernel import SimulationKernel
 from repro.sim.retry import RetryLoop, RetryPolicy
 from repro.sim.rng import derive_seed
-from repro.workloads.traffic import constant_rate_arrivals, poisson_arrivals
 
 __all__ = ["FunctionDeployment", "ClusterResult", "ClusterSimulator"]
 
@@ -99,7 +99,10 @@ class ClusterResult:
         for m in self.metrics.values():
             durations.extend(m.execution_durations_s())
             latencies.extend(m.end_to_end_latencies_s())
-            floor_s += sum(r.service_floor_s for r in m.requests)
+            # Incremental per-function floor sums: each accumulates in the
+            # same completion order the old per-request walk summed in, so
+            # the combined value is bit-identical.
+            floor_s += m.service_floor_sum_s
         latency_s = sum(latencies)
         row: Dict[str, float] = {
             "num_functions": float(len(self.metrics)),
@@ -124,14 +127,21 @@ class ClusterResult:
             arrivals = sum(m.arrivals for m in self.metrics.values())
             retried = sum(m.retry_arrivals for m in self.metrics.values())
             initial = arrivals - retried
-            attempt_counts = [c for m in self.metrics.values() for c in m.attempt_counts()]
+            # Integer-exact terminal attempt aggregates (completed attempts
+            # accumulated at record time, gave-up attempts off the failure
+            # records): same mean as summing attempt_counts(), without
+            # needing retained per-request outcomes.
+            attempts_sum = 0
+            terminal = 0
+            for m in self.metrics.values():
+                function_sum, function_count = m.terminal_attempt_stats()
+                attempts_sum += function_sum
+                terminal += function_count
             row["retried_requests"] = float(retried)
             row["gave_up_requests"] = float(
                 sum(m.gave_up_requests for m in self.metrics.values())
             )
-            row["mean_attempts"] = (
-                sum(attempt_counts) / len(attempt_counts) if attempt_counts else 0.0
-            )
+            row["mean_attempts"] = attempts_sum / terminal if terminal else 0.0
             # Load amplification the fleet actually absorbed: arrivals per
             # organic arrival (1.0 = nothing retried).
             row["retry_amplification"] = arrivals / initial if initial else 1.0
@@ -219,6 +229,7 @@ class ClusterSimulator:
         price_class_multipliers: Optional[Mapping[str, float]] = None,
         retry: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
+        retain_outcomes: bool = True,
     ) -> None:
         if not deployments:
             raise ValueError("a cluster simulation needs at least one deployment")
@@ -290,6 +301,10 @@ class ClusterSimulator:
                 # Request-level span markers are only worth publishing when a
                 # collector is listening on the shared bus.
                 emit_spans=obs is not None,
+                # retain_outcomes=False drops per-request outcome objects while
+                # keeping every incremental aggregate summary() reads -- the
+                # bounded-memory mode million-request benchmark runs use.
+                retain_outcomes=retain_outcomes,
             )
             if self.retry is not None:
                 self.retry.register(name, simulator)
@@ -334,14 +349,22 @@ class ClusterSimulator:
             ),
         )
 
-    def _arrivals(self, deployment: FunctionDeployment) -> List[float]:
+    def _arrivals(self, deployment: FunctionDeployment) -> ArrivalSource:
+        """The deployment's traffic as a chunked arrival source.
+
+        Sources are *streamed* into the shared kernel (vectorized generation,
+        bounded heap memory) and byte-identical to the materialized lists the
+        simulator previously scheduled eagerly: a Poisson source consumes the
+        same seed-derived RNG stream as
+        :func:`repro.workloads.traffic.poisson_arrivals`.
+        """
         if deployment.arrival_process == "poisson":
-            return poisson_arrivals(
+            return PoissonSource(
                 deployment.rps,
                 deployment.duration_s,
                 seed=derive_seed(self.seed, "cluster", deployment.function.name, "arrivals"),
             )
-        return constant_rate_arrivals(deployment.rps, deployment.duration_s)
+        return ConstantRateSource(deployment.rps, deployment.duration_s)
 
     def run(self, horizon_s: Optional[float] = None) -> ClusterResult:
         """Schedule every deployment's traffic and run the shared kernel once."""

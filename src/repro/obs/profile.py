@@ -27,25 +27,10 @@ from typing import Dict, List, Optional
 __all__ = ["KernelProfile", "KernelProfiler"]
 
 
-class _KindStats:
-    """Per-event-kind tallies (count + accumulated handler wall-time)."""
-
-    __slots__ = ("count", "wall_s")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.wall_s = 0.0
-
-
-class _PublishStats:
-    """Per-event-type bus tallies (publishes, delivered callbacks, wall-time)."""
-
-    __slots__ = ("count", "fanout", "wall_s")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.fanout = 0
-        self.wall_s = 0.0
+# Mutable tallies are bare lists, not stat objects: list item updates are the
+# cheapest mutation CPython offers, and record_event runs once per dispatched
+# kernel event.  Layout: [count, wall_s] per kind; [count, fanout, wall_s]
+# per published type.
 
 
 @dataclass(frozen=True)
@@ -112,13 +97,12 @@ class KernelProfile:
 class KernelProfiler:
     """Mutable tally sink the kernel and bus report into when installed."""
 
-    __slots__ = ("_by_kind", "_publishes", "events_total", "process_events",
+    __slots__ = ("_by_kind", "_publishes", "process_events",
                  "cancels", "prunes", "max_heap_depth")
 
     def __init__(self) -> None:
-        self._by_kind: Dict[str, _KindStats] = {}
-        self._publishes: Dict[str, _PublishStats] = {}
-        self.events_total = 0
+        self._by_kind: Dict[str, List[float]] = {}
+        self._publishes: Dict[str, List[float]] = {}
         self.process_events = 0
         self.cancels = 0
         self.prunes = 0
@@ -140,24 +124,24 @@ class KernelProfiler:
     # ------------------------------------------------------------------
 
     def record_event(self, kind: str, heap_depth: int, wall_s: float) -> None:
-        self.events_total += 1
         if heap_depth > self.max_heap_depth:
             self.max_heap_depth = heap_depth
         stats = self._by_kind.get(kind)
         if stats is None:
-            stats = self._by_kind[kind] = _KindStats()
-        stats.count += 1
-        stats.wall_s += wall_s
+            self._by_kind[kind] = [1, wall_s]
+        else:
+            stats[0] += 1
+            stats[1] += wall_s
 
     def record_process(self, type_name: str, wall_s: float) -> None:
-        self.events_total += 1
         self.process_events += 1
         kind = f"process:{type_name}"
         stats = self._by_kind.get(kind)
         if stats is None:
-            stats = self._by_kind[kind] = _KindStats()
-        stats.count += 1
-        stats.wall_s += wall_s
+            self._by_kind[kind] = [1, wall_s]
+        else:
+            stats[0] += 1
+            stats[1] += wall_s
 
     def record_cancel(self) -> None:
         self.cancels += 1
@@ -168,14 +152,21 @@ class KernelProfiler:
     def record_publish(self, type_name: str, fanout: int, wall_s: float) -> None:
         stats = self._publishes.get(type_name)
         if stats is None:
-            stats = self._publishes[type_name] = _PublishStats()
-        stats.count += 1
-        stats.fanout += fanout
-        stats.wall_s += wall_s
+            self._publishes[type_name] = [1, fanout, wall_s]
+        else:
+            stats[0] += 1
+            stats[1] += fanout
+            stats[2] += wall_s
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+
+    @property
+    def events_total(self) -> int:
+        # Derived at read time (sum over per-kind counts, which include the
+        # process:* kinds) so the per-event hooks never touch a second counter.
+        return sum(s[0] for s in self._by_kind.values())
 
     def snapshot(self) -> KernelProfile:
         return KernelProfile(
@@ -185,11 +176,11 @@ class KernelProfiler:
             prunes=self.prunes,
             max_heap_depth=self.max_heap_depth,
             by_kind={
-                kind: {"count": float(s.count), "wall_s": s.wall_s}
+                kind: {"count": float(s[0]), "wall_s": s[1]}
                 for kind, s in self._by_kind.items()
             },
             publishes={
-                name: {"count": float(s.count), "fanout": float(s.fanout), "wall_s": s.wall_s}
+                name: {"count": float(s[0]), "fanout": float(s[1]), "wall_s": s[2]}
                 for name, s in self._publishes.items()
             },
         )

@@ -27,7 +27,8 @@ keep-alive expiry, eviction), which is what the fleet placement layer
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.platform.config import FunctionConfig, PlatformConfig
 from repro.platform.metrics import FailedRequest, RequestOutcome, SimulationMetrics
 from repro.platform.autoscaler import Autoscaler, AutoscalerProcess
 from repro.platform.sandbox import ActiveRequest, Sandbox, SandboxState
+from repro.sim.arrivals import ArrivalSource, ArrivalStream
 from repro.sim.events import (
     EventBus,
     InstanceCountChanged,
@@ -57,6 +59,7 @@ from repro.sim.retry import RetryLoop
 __all__ = ["PlatformSimulator", "RequestOutcome", "SimulationMetrics"]
 
 _EPS = 1e-9
+_INF = float("inf")
 
 #: Event kinds the simulator schedules on the kernel; the autoscaler is a
 #: polled kernel process (:class:`repro.platform.autoscaler.AutoscalerProcess`)
@@ -107,6 +110,7 @@ class PlatformSimulator:
         retry: Optional[RetryLoop] = None,
         obs=None,
         emit_spans: bool = False,
+        retain_outcomes: bool = True,
     ) -> None:
         self.platform = platform
         self.function = function
@@ -120,13 +124,24 @@ class PlatformSimulator:
         self._kernel = kernel if kernel is not None else SimulationKernel()
         for kind in _EVENT_KINDS:
             self._kernel.on(self._kind(kind), getattr(self, f"_handle_{kind}"))
+        # Namespaced kind strings are per-simulator constants; the hot paths
+        # schedule thousands of these, so skip the per-call f-string.
+        self._kind_arrival = self._kind("arrival")
+        self._kind_sandbox_ready = self._kind("sandbox_ready")
+        self._kind_completion = self._kind("completion")
+        self._kind_keepalive_expire = self._kind("keepalive_expire")
+        #: Live sandbox registry: terminated sandboxes are discarded on the
+        #: spot (:meth:`_discard_sandbox`), so routing scans stay O(alive)
+        #: and memory stays bounded over million-request runs.
         self._sandboxes: Dict[str, Sandbox] = {}
         #: Ingress FIFO: (arrival time, request id, attempts, retry wait).
-        self._queue: List[Tuple[float, str, int, float]] = []
+        self._queue: Deque[Tuple[float, str, int, float]] = deque()
         #: sandbox -> waiting (arrival time, request id, attempts, retry wait).
         self._pending_cold: Dict[str, List[Tuple[float, str, int, float]]] = {}
         self._completion_version: Dict[str, int] = {}
-        self.metrics = SimulationMetrics()
+        #: sandbox -> fire time of its single pending keep-alive expiry check.
+        self._keepalive_pending: Dict[str, float] = {}
+        self.metrics = SimulationMetrics(retain_outcomes=retain_outcomes)
         # Each simulator owns its instrumentation bus, so its metrics only ever
         # see its own events.  A caller-supplied bus becomes a downstream
         # observer: every event is forwarded to it, letting one external bus
@@ -172,18 +187,36 @@ class PlatformSimulator:
         """Namespace an event kind with the simulator name (shared-kernel safety)."""
         return f"{self.name}:{kind}" if self.name else kind
 
-    def schedule_arrivals(self, arrivals: Sequence[float], horizon_s: Optional[float] = None) -> float:
+    def schedule_arrivals(
+        self,
+        arrivals: Union[Sequence[float], ArrivalSource, ArrivalStream],
+        horizon_s: Optional[float] = None,
+    ) -> float:
         """Schedule request arrivals on the kernel; returns the run horizon.
 
         Does not execute anything -- a co-simulation host schedules arrivals
         for every simulator sharing the kernel and then runs the kernel once.
+
+        ``arrivals`` may be an explicit time sequence (each scheduled as its
+        own kernel event up front), an :class:`~repro.sim.arrivals.ArrivalSource`
+        or a pre-built :class:`~repro.sim.arrivals.ArrivalStream`: sources are
+        generated in vectorized chunks and *streamed* into the kernel with
+        their tie-break ranks reserved up front, which is byte-identical to
+        eager scheduling while bounding heap memory at millions of requests.
         """
+        if isinstance(arrivals, (ArrivalSource, ArrivalStream)):
+            stream = arrivals if isinstance(arrivals, ArrivalStream) else ArrivalStream(arrivals)
+            if horizon_s is None:
+                tail = self.function.service_time_s * 50 + 10.0
+                horizon_s = stream.source.last_arrival_s() + tail
+            stream.attach(self._kernel, self._kind_arrival)
+            return horizon_s
         arrivals = sorted(arrivals)
         if horizon_s is None:
             tail = self.function.service_time_s * 50 + 10.0
             horizon_s = (arrivals[-1] if arrivals else 0.0) + tail
         for arrival in arrivals:
-            self._kernel.schedule(arrival, self._kind("arrival"))
+            self._kernel.schedule(arrival, self._kind_arrival)
         return horizon_s
 
     def run(self, arrivals: Sequence[float], horizon_s: Optional[float] = None) -> SimulationMetrics:
@@ -251,10 +284,24 @@ class PlatformSimulator:
 
     def _handle_arrival(self, event: Event) -> None:
         request_id = f"{self._id_prefix}req-{next(self._request_counter):07d}"
-        # Retry re-injections (inject_retry) carry their attempt metadata on
-        # the kernel event; organic arrivals have an empty payload.
-        attempts = int(event.data.get("attempts", 1))
-        retry_wait_s = float(event.data.get("retry_wait_s", 0.0))
+        # Organic arrivals have an empty payload (the hot path skips every
+        # dict lookup); retry re-injections (inject_retry) carry their attempt
+        # metadata, and chunk-boundary arrivals from a streamed source carry
+        # the stream to refill.
+        data = event.data
+        if data:
+            attempts = int(data.get("attempts", 1))
+            retry_wait_s = float(data.get("retry_wait_s", 0.0))
+            stream = data.get("stream")
+            if stream is not None:
+                # Refill synchronously, inside this event: the next chunk is
+                # on the heap before the kernel can pop anything after it,
+                # which is what keeps streaming byte-identical to eager
+                # scheduling.
+                stream.push_next_chunk()
+        else:
+            attempts = 1
+            retry_wait_s = 0.0
         self.metrics.record_arrival(attempts)
         if self._emit_spans:
             self.bus.publish(
@@ -264,7 +311,7 @@ class PlatformSimulator:
                     function_name=self.function.name,
                     attempts=attempts,
                     retry_wait_s=retry_wait_s,
-                    parent_id=str(event.data.get("parent_id", "")),
+                    parent_id=str(data.get("parent_id", "")),
                 )
             )
         self._route(request_id, self._now, attempts=attempts, retry_wait_s=retry_wait_s)
@@ -284,7 +331,7 @@ class PlatformSimulator:
         """
         self._kernel.schedule_in(
             delay_s,
-            self._kind("arrival"),
+            self._kind_arrival,
             {"attempts": attempts, "retry_wait_s": retry_wait_s, "parent_id": parent_id},
         )
 
@@ -320,18 +367,33 @@ class PlatformSimulator:
         self._queue.append((arrival_s, request_id, attempts, retry_wait_s))
 
     def _pick_sandbox(self) -> Optional[Sandbox]:
-        """Choose a ready sandbox with available concurrency (fewest active requests)."""
+        """Choose a ready sandbox with available concurrency (fewest active requests).
+
+        Single allocation-free pass; ties on concurrency keep the first
+        candidate in name order, matching the old
+        ``min(candidates, key=(concurrency, name))`` selection exactly.
+        """
         limit = self.platform.concurrency.max_concurrency
-        candidates = [
-            s
-            for s in self._alive_sandboxes()
-            if s.state in (SandboxState.IDLE, SandboxState.BUSY)
-            and s.ready_s <= self._now + _EPS
-            and s.concurrency < limit
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda s: (s.concurrency, s.name))
+        ready_cutoff = self._now + _EPS
+        best: Optional[Sandbox] = None
+        best_concurrency = 0
+        for sandbox in self._sandboxes.values():
+            state = sandbox.state
+            if state is not SandboxState.IDLE and state is not SandboxState.BUSY:
+                continue
+            if sandbox.ready_s > ready_cutoff:
+                continue
+            concurrency = sandbox.concurrency
+            if concurrency >= limit:
+                continue
+            if (
+                best is None
+                or concurrency < best_concurrency
+                or (concurrency == best_concurrency and sandbox.name < best.name)
+            ):
+                best = sandbox
+                best_concurrency = concurrency
+        return best
 
     def _create_sandbox(self) -> Sandbox:
         init_duration = self.platform.placement_delay_s + self.function.init_duration_s
@@ -353,7 +415,7 @@ class PlatformSimulator:
         self._completion_version[sandbox.name] = 0
         if self._feedback is None:
             self._kernel.schedule_in(
-                init_duration, self._kind("sandbox_ready"), {"sandbox": sandbox.name}
+                init_duration, self._kind_sandbox_ready, {"sandbox": sandbox.name}
             )
         self.bus.publish(
             SandboxColdStart(
@@ -387,7 +449,7 @@ class PlatformSimulator:
             return
         # ADMITTED, or None when no admission-publishing fleet is attached.
         self._kernel.schedule_in(
-            sandbox.init_duration_s, self._kind("sandbox_ready"), {"sandbox": sandbox.name}
+            sandbox.init_duration_s, self._kind_sandbox_ready, {"sandbox": sandbox.name}
         )
 
     def _on_admission_resolved(self, event: SimEvent) -> None:
@@ -398,7 +460,7 @@ class PlatformSimulator:
             return
         if isinstance(event, SandboxAdmitted):
             self._kernel.schedule_in(
-                sandbox.init_duration_s, self._kind("sandbox_ready"), {"sandbox": name}
+                sandbox.init_duration_s, self._kind_sandbox_ready, {"sandbox": name}
             )
             return
         # Late rejection of a queued sandbox.  The stock fleet only rejects at
@@ -414,9 +476,23 @@ class PlatformSimulator:
             )
         self._publish_instance_count()
 
+    def _discard_sandbox(self, sandbox: Sandbox) -> None:
+        """Forget a terminated sandbox.
+
+        Keeping every dead sandbox in the registry made routing scans and
+        memory grow with the total number ever created -- quadratic over a
+        million-request run.  All event handlers treat an unknown sandbox
+        name as terminated, so stale kernel events for a discarded sandbox
+        are ignored exactly as they were when its record stuck around.
+        """
+        self._sandboxes.pop(sandbox.name, None)
+        self._completion_version.pop(sandbox.name, None)
+        self._keepalive_pending.pop(sandbox.name, None)
+
     def _abort_sandbox(self, sandbox: Sandbox) -> None:
         """Tear down a sandbox whose fleet admission was rejected."""
         sandbox.terminate(self._now)
+        self._discard_sandbox(sandbox)
         self.bus.publish(SandboxEvicted(self._now, sandbox.name, reason="admission_rejected"))
 
     def _fail_request(
@@ -434,13 +510,14 @@ class PlatformSimulator:
         # no budget can be spent between this query and the loop's handling
         # of the very event it stamps.
         gave_up = self._retry is not None and not self._retry.will_retry(self.name, attempts)
+        now = self._now
         self.bus.publish(
             RequestFailed(
-                self._now,
+                now,
                 FailedRequest(
                     request_id=request_id,
                     arrival_s=arrival_s,
-                    failed_s=self._now,
+                    failed_s=now,
                     reason=reason,
                     sandbox_name=sandbox_name,
                     attempts=attempts,
@@ -451,8 +528,8 @@ class PlatformSimulator:
         )
 
     def _handle_sandbox_ready(self, event: Event) -> None:
-        sandbox = self._sandboxes[event.data["sandbox"]]
-        if sandbox.state is SandboxState.TERMINATED:
+        sandbox = self._sandboxes.get(event.data["sandbox"])
+        if sandbox is None or sandbox.state is SandboxState.TERMINATED:
             return
         sandbox.mark_ready(self._now)
         waiting = self._pending_cold.pop(sandbox.name, [])
@@ -472,26 +549,27 @@ class PlatformSimulator:
         attempts: int = 1,
         retry_wait_s: float = 0.0,
     ) -> None:
+        now = self._now
         overhead = self.platform.serving.sample_overhead_s(self.function.alloc_vcpus, self._rng)
         request = ActiveRequest(
             request_id=request_id,
             arrival_s=arrival_s,
-            admitted_s=self._now,
+            admitted_s=now,
             remaining_cpu_s=self.function.cpu_time_s,
             io_remaining_s=self.function.io_time_s + overhead,
             overhead_s=overhead,
             cold_start=cold,
-            init_wait_s=(self._now - arrival_s) if cold else 0.0,
+            init_wait_s=(now - arrival_s) if cold else 0.0,
             attempts=attempts,
             retry_wait_s=retry_wait_s,
         )
         was_busy = sandbox.state is SandboxState.BUSY
-        sandbox.admit(request, self._now)
+        sandbox.admit(request, now)
         self._refresh_rate_factor(sandbox)
         if self._emit_spans:
             self.bus.publish(
                 RequestExecuting(
-                    self._now,
+                    now,
                     request_id,
                     sandbox_name=sandbox.name,
                     cold_start=cold,
@@ -499,7 +577,7 @@ class PlatformSimulator:
                 )
             )
         if not was_busy:
-            self.bus.publish(SandboxBusy(self._now, sandbox.name, sandbox.concurrency))
+            self.bus.publish(SandboxBusy(now, sandbox.name, sandbox.concurrency))
         self._schedule_completion_check(sandbox)
 
     def _refresh_rate_factor(self, sandbox: Sandbox) -> None:
@@ -520,14 +598,16 @@ class PlatformSimulator:
     # ------------------------------------------------------------------
 
     def _schedule_completion_check(self, sandbox: Sandbox) -> None:
-        self._completion_version[sandbox.name] += 1
-        version = self._completion_version[sandbox.name]
-        next_time = sandbox.next_completion_time(self._now)
+        name = sandbox.name
+        version = self._completion_version[name] + 1
+        self._completion_version[name] = version
+        now = self._now
+        next_time = sandbox.next_completion_time(now)
         if next_time is None:
             return
         self._kernel.schedule(
-            max(next_time, self._now),
-            self._kind("completion"),
+            max(next_time, now),
+            self._kind_completion,
             {"sandbox": sandbox.name, "version": version},
         )
 
@@ -538,20 +618,21 @@ class PlatformSimulator:
             return
         if event.data["version"] != self._completion_version[name]:
             return  # stale check; membership changed since it was scheduled
-        sandbox.advance(self._now)
+        now = self._now
+        sandbox.advance(now)
         finished = sandbox.completed_requests()
         for request_id, request in finished.items():
-            sandbox.remove(request_id, self._now)
+            sandbox.remove(request_id, now)
             exec_start = request.exec_start_s if request.exec_start_s is not None else request.admitted_s
-            execution_duration = self._now - exec_start
+            execution_duration = now - exec_start
             self.bus.publish(
                 RequestCompleted(
-                    self._now,
+                    now,
                     RequestOutcome(
                         request_id=request_id,
                         arrival_s=request.arrival_s,
                         start_s=exec_start,
-                        completion_s=self._now,
+                        completion_s=now,
                         execution_duration_s=execution_duration,
                         cold_start=request.cold_start,
                         init_duration_s=request.init_wait_s,
@@ -575,7 +656,7 @@ class PlatformSimulator:
             sandbox = self._pick_sandbox()
             if sandbox is None:
                 return
-            arrival_s, request_id, attempts, retry_wait_s = self._queue.pop(0)
+            arrival_s, request_id, attempts, retry_wait_s = self._queue.popleft()
             self._admit(sandbox, request_id, arrival_s, cold=False,
                         attempts=attempts, retry_wait_s=retry_wait_s)
 
@@ -586,23 +667,52 @@ class PlatformSimulator:
     def _maybe_schedule_keepalive(self, sandbox: Sandbox) -> None:
         if sandbox.state is not SandboxState.IDLE:
             return
-        self.bus.publish(SandboxIdle(self._now, sandbox.name))
+        now = self._now
+        self.bus.publish(SandboxIdle(now, sandbox.name))
         keep_alive = self.platform.keep_alive.sample_keep_alive_s(
             self._rng, scaled_out_instances=self._instance_count()
         )
-        deadline = self._now + keep_alive
+        deadline = now + keep_alive
         sandbox.keep_alive_deadline_s = deadline
+        name = sandbox.name
+        # At most one pending expiry check per sandbox.  Scheduling one event
+        # per idle transition (the old scheme) left every superseded check on
+        # the heap for the full keep-alive window -- hundreds of thousands of
+        # stale entries in a long busy run.  A pending *earlier* check
+        # re-arms itself at the current deadline when it fires
+        # (:meth:`_handle_keepalive_expire`), so only a deadline that moved
+        # earlier than the pending check needs a new event.
+        pending = self._keepalive_pending.get(name)
+        if pending is not None and pending <= deadline:
+            return
+        self._keepalive_pending[name] = deadline
         self._kernel.schedule(
-            deadline, self._kind("keepalive_expire"), {"sandbox": sandbox.name, "deadline": deadline}
+            deadline, self._kind_keepalive_expire, {"sandbox": name, "deadline": deadline}
         )
 
     def _handle_keepalive_expire(self, event: Event) -> None:
-        sandbox = self._sandboxes.get(event.data["sandbox"])
+        name = event.data["sandbox"]
+        checked = event.data["deadline"]
+        if self._keepalive_pending.get(name) == checked:
+            del self._keepalive_pending[name]
+        sandbox = self._sandboxes.get(name)
         if sandbox is None or sandbox.state is not SandboxState.IDLE:
             return
-        if abs(sandbox.keep_alive_deadline_s - event.data["deadline"]) > 1e-6:
-            return  # the sandbox served another request since this expiry was scheduled
+        deadline = sandbox.keep_alive_deadline_s
+        if abs(deadline - checked) > 1e-6:
+            # The sandbox served more requests since this check was armed.
+            # If its current deadline lies beyond this check and nothing else
+            # is pending, re-arm at that deadline -- the check this handler
+            # suppressed at idle time.  (A deadline *before* this check
+            # always has its own earlier pending event.)
+            if deadline > checked and self._keepalive_pending.get(name, _INF) > deadline:
+                self._keepalive_pending[name] = deadline
+                self._kernel.schedule(
+                    deadline, self._kind_keepalive_expire, {"sandbox": name, "deadline": deadline}
+                )
+            return
         sandbox.terminate(self._now)
+        self._discard_sandbox(sandbox)
         self.bus.publish(KeepAliveExpired(self._now, sandbox.name))
         self.bus.publish(SandboxEvicted(self._now, sandbox.name, reason="keepalive_expire"))
         self._publish_instance_count()
@@ -639,6 +749,7 @@ class PlatformSimulator:
             removable = [s for s in alive if s.state is SandboxState.IDLE]
             for sandbox in removable[: current - desired]:
                 sandbox.terminate(self._now)
+                self._discard_sandbox(sandbox)
                 self.bus.publish(SandboxEvicted(self._now, sandbox.name, reason="scale_down"))
         self._publish_instance_count()
         self._drain_queue()

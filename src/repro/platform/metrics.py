@@ -1,7 +1,28 @@
-"""Metrics collected by the platform simulator."""
+"""Metrics collected by the platform simulator.
+
+:class:`SimulationMetrics` is hot-path state: one :class:`RequestOutcome` is
+recorded per completed request, and million-request runs make the old
+list-walking aggregations (re-deriving sums and percentile inputs from the
+outcome objects on every call) the dominant cost of ``summary()``.  The
+collector therefore keeps *incremental* aggregates next to the raw records:
+
+- execution durations and end-to-end latencies land in preallocated,
+  doubling ``float64`` buffers at record time (``summary()`` and the
+  percentile helpers read slices, never rebuild lists);
+- scalar sums (latency, service floor, terminal attempts) accumulate as the
+  requests complete, in arrival order -- the same left-to-right order the
+  old ``sum(...)`` calls used, so every derived statistic is bit-identical.
+
+``retain_outcomes=False`` additionally drops the per-request
+:class:`RequestOutcome` objects (the aggregates above are kept), bounding
+memory for million-request benchmark runs.  Record-level views
+(``duration_timeline``, ``attempt_counts``) raise in that mode instead of
+silently returning empty results.
+"""
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -9,8 +30,17 @@ import numpy as np
 
 __all__ = ["FailedRequest", "RequestOutcome", "SimulationMetrics"]
 
+#: ``slots=True`` shrinks the per-request records (one ``RequestOutcome`` per
+#: completed request is hot-path allocation), but the dataclass flag only
+#: exists on Python 3.10+; older interpreters fall back to dict-backed
+#: dataclasses with identical behaviour.
+_SLOTS: Dict[str, bool] = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass(frozen=True)
+#: Initial capacity of the duration/latency buffers; doubled on overflow.
+_INITIAL_CAPACITY = 1024
+
+
+@dataclass(frozen=True, **_SLOTS)
 class RequestOutcome:
     """The outcome of one simulated invocation, as the provider would report it."""
 
@@ -46,7 +76,7 @@ class RequestOutcome:
         return self.init_duration_s + self.execution_duration_s
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class FailedRequest:
     """A request the platform gave up on (it never started executing).
 
@@ -98,9 +128,42 @@ class SimulationMetrics:
     arrivals: int = 0
     #: Of those, how many were retry re-injections (attempt > 1).
     retry_arrivals: int = 0
+    #: ``False`` drops the per-request :class:`RequestOutcome` objects at
+    #: record time while keeping every incremental aggregate -- bounded
+    #: memory for million-request runs.  Record-level views
+    #: (:meth:`duration_timeline`, :meth:`attempt_counts`) then raise.
+    retain_outcomes: bool = True
+
+    def __post_init__(self) -> None:
+        # Incremental aggregates, maintained by record() in arrival order so
+        # every derived statistic matches the old list-walking computations
+        # bit for bit.  Buffers are float64 and doubled on overflow; the
+        # first `_completed` entries are live.
+        self._completed: int = 0
+        self._durations: np.ndarray = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._latencies: np.ndarray = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._latency_sum: float = 0.0
+        self._floor_sum: float = 0.0
+        self._completed_attempts_sum: int = 0
 
     def record(self, outcome: RequestOutcome) -> None:
-        self.requests.append(outcome)
+        if self.retain_outcomes:
+            self.requests.append(outcome)
+        index = self._completed
+        durations = self._durations
+        if index == durations.shape[0]:
+            self._durations = np.empty(durations.shape[0] * 2, dtype=np.float64)
+            self._durations[:index] = durations
+            latencies = self._latencies
+            self._latencies = np.empty(latencies.shape[0] * 2, dtype=np.float64)
+            self._latencies[:index] = latencies
+        latency = outcome.completion_s - outcome.arrival_s
+        self._durations[index] = outcome.execution_duration_s
+        self._latencies[index] = latency
+        self._completed = index + 1
+        self._latency_sum += latency
+        self._floor_sum += outcome.service_floor_s
+        self._completed_attempts_sum += outcome.attempts
         if outcome.cold_start:
             self.cold_starts += 1
 
@@ -115,13 +178,20 @@ class SimulationMetrics:
     def record_instances(self, now_s: float, count: int) -> None:
         self.instance_timeline.append((now_s, count))
 
+    def _require_outcomes(self, what: str) -> None:
+        if not self.retain_outcomes and self._completed:
+            raise RuntimeError(
+                f"{what} needs per-request outcome records, but this collector "
+                "was created with retain_outcomes=False"
+            )
+
     # ------------------------------------------------------------------
     # Aggregations used by the analysis / benchmark modules
     # ------------------------------------------------------------------
 
     @property
     def num_requests(self) -> int:
-        return len(self.requests)
+        return self._completed
 
     @property
     def failed_requests(self) -> int:
@@ -132,6 +202,16 @@ class SimulationMetrics:
         """Terminal failures: the client exhausted its attempts or budget."""
         return sum(1 for f in self.failures if f.gave_up)
 
+    @property
+    def latency_sum_s(self) -> float:
+        """Sum of end-to-end latencies, accumulated in completion order."""
+        return self._latency_sum
+
+    @property
+    def service_floor_sum_s(self) -> float:
+        """Sum of per-request service floors, accumulated in completion order."""
+        return self._floor_sum
+
     def attempt_counts(self) -> List[int]:
         """Attempts of every *terminal* request: completed or given up.
 
@@ -139,19 +219,37 @@ class SimulationMetrics:
         (or was censored by the horizon), so counting them would double-count
         the logical request.
         """
+        self._require_outcomes("attempt_counts()")
         counts = [r.attempts for r in self.requests]
         counts.extend(f.attempts for f in self.failures if f.gave_up)
         return counts
 
+    def terminal_attempt_stats(self) -> Tuple[int, int]:
+        """``(sum of attempts, count)`` over terminal requests.
+
+        The integer-exact aggregate behind ``mean_attempts``-style columns,
+        available even with ``retain_outcomes=False``: the completed half is
+        accumulated at record time, the gave-up half read off the (always
+        retained) failure records.
+        """
+        total = self._completed_attempts_sum
+        count = self._completed
+        for failure in self.failures:
+            if failure.gave_up:
+                total += failure.attempts
+                count += 1
+        return total, count
+
     def execution_durations_s(self) -> List[float]:
-        return [r.execution_duration_s for r in self.requests]
+        return self._durations[: self._completed].tolist()
 
     def end_to_end_latencies_s(self) -> List[float]:
-        return [r.end_to_end_latency_s for r in self.requests]
+        return self._latencies[: self._completed].tolist()
 
     def mean_end_to_end_latency_s(self) -> float:
-        latencies = self.end_to_end_latencies_s()
-        return float(np.mean(latencies)) if latencies else float("nan")
+        if not self._completed:
+            return float("nan")
+        return float(np.mean(self._latencies[: self._completed]))
 
     def latency_inflation(self) -> float:
         """Aggregate latency above the uncontended service floor, as a ratio.
@@ -163,17 +261,16 @@ class SimulationMetrics:
         completed requests; ``0`` when floors were not recorded (pre-feedback
         outcome records).
         """
-        if not self.requests:
+        if not self._completed:
             return float("nan")
-        floor = sum(r.service_floor_s for r in self.requests)
-        if floor <= 0:
+        if self._floor_sum <= 0:
             return 0.0
-        latency = sum(r.end_to_end_latency_s for r in self.requests)
-        return (latency - floor) / floor
+        return (self._latency_sum - self._floor_sum) / self._floor_sum
 
     def mean_execution_duration_s(self) -> float:
-        durations = self.execution_durations_s()
-        return float(np.mean(durations)) if durations else float("nan")
+        if not self._completed:
+            return float("nan")
+        return float(np.mean(self._durations[: self._completed]))
 
     def percentile_execution_duration_s(self, q: float) -> float:
         """Execution-duration percentile, defined for every input.
@@ -196,9 +293,9 @@ class SimulationMetrics:
         return percentile(self.end_to_end_latencies_s(), q)
 
     def cold_start_rate(self) -> float:
-        if not self.requests:
+        if not self._completed:
             return float("nan")
-        return self.cold_starts / len(self.requests)
+        return self.cold_starts / self._completed
 
     def max_instances(self) -> int:
         if not self.instance_timeline:
@@ -209,6 +306,7 @@ class SimulationMetrics:
         """Mean / median / p95 execution duration per time bucket (Figure 6 right)."""
         if bucket_s <= 0:
             raise ValueError("bucket_s must be positive")
+        self._require_outcomes("duration_timeline()")
         buckets: Dict[int, List[float]] = {}
         for request in self.requests:
             bucket = int(request.arrival_s // bucket_s)
@@ -233,15 +331,16 @@ class SimulationMetrics:
         return rows
 
     def summary(self) -> Dict[str, float]:
-        durations = self.execution_durations_s()
-        if not durations:
+        count = self._completed
+        if not count:
             return {
                 "num_requests": 0.0,
                 "failed_requests": float(self.failed_requests),
                 "pending_requests": float(self.pending_requests),
             }
+        durations = self._durations[:count]
         return {
-            "num_requests": float(len(durations)),
+            "num_requests": float(count),
             "mean_execution_duration_s": float(np.mean(durations)),
             "median_execution_duration_s": float(np.median(durations)),
             "p95_execution_duration_s": float(np.quantile(durations, 0.95)),

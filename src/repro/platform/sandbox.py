@@ -16,12 +16,19 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.platform.concurrency import ContentionModel
 
 __all__ = ["SandboxState", "ActiveRequest", "Sandbox"]
+
+#: One ActiveRequest is allocated per admitted request and one Sandbox per
+#: cold start; ``slots=True`` (Python 3.10+) keeps these hot objects small
+#: and their attribute access fast.  Older interpreters fall back to
+#: dict-backed dataclasses with identical behaviour.
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 _sandbox_counter = itertools.count()
 _EPS = 1e-12
@@ -36,7 +43,7 @@ class SandboxState(str, enum.Enum):
     TERMINATED = "terminated"
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class ActiveRequest:
     """A request admitted into a sandbox (executing or waiting for a runtime worker)."""
 
@@ -55,7 +62,7 @@ class ActiveRequest:
     retry_wait_s: float = 0.0
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class Sandbox:
     """One sandbox instance of a function."""
 

@@ -15,20 +15,42 @@ participants coexist:
 The clock never moves backwards: it advances to ``max(now, event.time)`` when
 an event fires.  ``peek``/``step``/``pause`` let a host embed the kernel in a
 larger co-simulation and advance it one event at a time.
+
+``run`` is the hot path: it fuses the prune/poll/pick/dispatch cycle that
+``peek`` + ``step`` would otherwise each repeat per event, so a
+million-event run does each piece of bookkeeping exactly once per event.
+The event *order* it produces is identical to repeated ``step()`` calls --
+the determinism contract every replay-fingerprint test pins down.
+
+Bulk producers (the batched arrival streams of :mod:`repro.sim.arrivals`)
+use :meth:`SimulationKernel.reserve_seqs` + :meth:`schedule_at_seq` to hold
+a block of sequence numbers up front and fill it in chunks later: events
+scheduled lazily keep the exact tie-break rank they would have had if they
+had all been pushed eagerly before the run started.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 __all__ = ["Event", "PeriodicProcess", "SimProcess", "SimulationKernel"]
 
+#: Poll result when no process is pending; shared so the common
+#: no-processes case never allocates.
+_NO_PROCESS: Tuple[None, float] = (None, float("inf"))
+
 
 class Event:
-    """One scheduled occurrence; ordered by ``(time, seq)``."""
+    """One scheduled occurrence; ordered by ``(time, seq)``.
+
+    Internally the kernel keeps ``(time, seq, event)`` tuples on its heap:
+    sequence numbers are unique, so heap sifts resolve on the first two
+    C-compared fields and never call back into Python -- ``__lt__`` below
+    exists for API compatibility (sorting event handles in tests), not for
+    the hot path.
+    """
 
     __slots__ = ("time", "seq", "kind", "data", "cancelled")
 
@@ -40,7 +62,12 @@ class Event:
         self.cancelled = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Equivalent to (time, seq) < (other.time, other.seq) without
+        # allocating the tuples: heap sifts call this O(log n) times per
+        # push/pop, which makes it one of the hottest functions in a run.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Event(t={self.time:.6f}, seq={self.seq}, kind={self.kind!r})"
@@ -97,8 +124,10 @@ class SimulationKernel:
     """Deterministic discrete-event loop: heap-scheduled events + polled processes."""
 
     def __init__(self, start_s: float = 0.0) -> None:
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        #: Min-heap of (time, seq, event): tuple comparison is C-speed and,
+        #: with unique seqs, never falls through to comparing the events.
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq_next = 0
         self._now = float(start_s)
         self._handlers: Dict[str, Callable[[Event], None]] = {}
         self._default_handler: Optional[Callable[[Event], None]] = None
@@ -145,15 +174,90 @@ class SimulationKernel:
     # ------------------------------------------------------------------
 
     def schedule(self, time_s: float, kind: str, data: Optional[Dict[str, Any]] = None) -> Event:
-        """Schedule an event at absolute time ``time_s``; returns a cancellable handle."""
-        event = Event(float(time_s), next(self._seq), kind, data or {})
-        heapq.heappush(self._heap, event)
+        """Schedule an event at absolute time ``time_s``; returns a cancellable handle.
+
+        ``data=None`` shares one immutable empty mapping across events (the
+        payload is a read-only contract; pass an explicit dict to attach
+        mutable state).
+        """
+        if time_s.__class__ is not float:
+            time_s = float(time_s)
+        seq = self._seq_next
+        self._seq_next = seq + 1
+        # Events are built via __new__ + attribute stores here and in the
+        # other schedule_* methods: one Event per simulated occurrence makes
+        # construction itself a hot path, and skipping the __init__ frame
+        # is measurably cheaper.
+        event = _EVENT_NEW(Event)
+        event.time = time_s
+        event.seq = seq
+        event.kind = kind
+        event.data = _EMPTY_DATA if data is None else data
+        event.cancelled = False
+        _heappush(self._heap, (time_s, seq, event))
         self._poll_cache = None
         return event
 
     def schedule_in(self, delay_s: float, kind: str, data: Optional[Dict[str, Any]] = None) -> Event:
         """Schedule an event ``delay_s`` seconds after the current time."""
-        return self.schedule(self._now + delay_s, kind, data)
+        time_s = self._now + delay_s
+        if time_s.__class__ is not float:
+            # e.g. numpy-float retry backoffs: coerce so event times (and the
+            # replay fingerprints derived from them) stay builtin floats.
+            time_s = float(time_s)
+        seq = self._seq_next
+        self._seq_next = seq + 1
+        event = _EVENT_NEW(Event)
+        event.time = time_s
+        event.seq = seq
+        event.kind = kind
+        event.data = _EMPTY_DATA if data is None else data
+        event.cancelled = False
+        _heappush(self._heap, (time_s, seq, event))
+        self._poll_cache = None
+        return event
+
+    def reserve_seqs(self, count: int) -> int:
+        """Reserve a contiguous block of ``count`` sequence numbers; returns the first.
+
+        A bulk producer that knows how many events it will eventually schedule
+        claims its tie-break ranks up front and fills them in later with
+        :meth:`schedule_at_seq`.  Events scheduled *after* the reservation get
+        larger sequence numbers, exactly as if the reserved block had been
+        pushed eagerly first -- which is what keeps chunked arrival streaming
+        byte-identical to eager scheduling.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        start = self._seq_next
+        self._seq_next += count
+        return start
+
+    def schedule_at_seq(
+        self, time_s: float, seq: int, kind: str, data: Optional[Dict[str, Any]] = None
+    ) -> Event:
+        """Schedule an event with a pre-reserved sequence number.
+
+        ``seq`` must come from :meth:`reserve_seqs` and ``time_s`` must not
+        lie in the past (the event would otherwise fire late yet rank early).
+        ``data=None`` shares one immutable empty mapping across events --
+        callers must not mutate the payload of events scheduled this way.
+        """
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule reserved-seq event in the past ({time_s} < {self._now})"
+            )
+        if time_s.__class__ is not float:
+            time_s = float(time_s)
+        event = _EVENT_NEW(Event)
+        event.time = time_s
+        event.seq = seq
+        event.kind = kind
+        event.data = _EMPTY_DATA if data is None else data
+        event.cancelled = False
+        _heappush(self._heap, (time_s, seq, event))
+        self._poll_cache = None
+        return event
 
     def cancel(self, event: Event) -> None:
         """Mark a scheduled event as cancelled; it is skipped when popped."""
@@ -167,35 +271,41 @@ class SimulationKernel:
     # ------------------------------------------------------------------
 
     def _prune(self) -> None:
+        heap = self._heap
         if self._profiler is None:
-            while self._heap and self._heap[0].cancelled:
-                heapq.heappop(self._heap)
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
             return
         pruned = 0
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
             pruned += 1
         if pruned:
             self._profiler.record_prunes(pruned)
 
     def _poll_processes(self) -> Tuple[Optional[SimProcess], float]:
         """The registered process with the earliest next event (cached until consumed)."""
-        if self._poll_cache is None:
-            best: Optional[SimProcess] = None
-            best_time = float("inf")
-            for process in self._processes:
-                t = process.next_event_time(self._now)
-                if t is not None and t < best_time:
-                    best = process
-                    best_time = t
-            self._poll_cache = (best, best_time)
-        return self._poll_cache
+        cache = self._poll_cache
+        if cache is None:
+            if not self._processes:
+                cache = _NO_PROCESS
+            else:
+                best: Optional[SimProcess] = None
+                best_time = float("inf")
+                for process in self._processes:
+                    t = process.next_event_time(self._now)
+                    if t is not None and t < best_time:
+                        best = process
+                        best_time = t
+                cache = (best, best_time)
+            self._poll_cache = cache
+        return cache
 
     def peek(self) -> Optional[float]:
         """Time of the next event (heap or process) without executing it."""
         self._prune()
         process, process_time = self._poll_processes()
-        heap_time = self._heap[0].time if self._heap else None
+        heap_time = self._heap[0][0] if self._heap else None
         if heap_time is None and process is None:
             return None
         if process is None:
@@ -215,37 +325,49 @@ class SimulationKernel:
         """
         self._prune()
         process, process_time = self._poll_processes()
-        heap_time = self._heap[0].time if self._heap else None
+        heap_time = self._heap[0][0] if self._heap else None
         if heap_time is None and process is None:
             return None
-        profiler = self._profiler
         if process is None or (heap_time is not None and heap_time <= process_time):
-            event = heapq.heappop(self._heap)
-            self._poll_cache = None
-            self._now = max(self._now, event.time)
-            handler = self._handlers.get(event.kind, self._default_handler)
-            if handler is None:
-                raise KeyError(f"no handler registered for event kind {event.kind!r}")
-            if profiler is None:
-                handler(event)
-            else:
-                start = perf_counter()
-                handler(event)
-                profiler.record_event(event.kind, len(self._heap), perf_counter() - start)
-            return event
+            return self._dispatch_heap_event()
+        self._dispatch_process(process, process_time)
+        return Event(self._now, -1, "process", {"process": process})
+
+    def _dispatch_heap_event(self) -> Event:
+        """Pop and dispatch the head heap event (already pruned)."""
+        heap = self._heap
+        event = heapq.heappop(heap)[2]
+        self._poll_cache = None
+        if event.time > self._now:
+            self._now = event.time
+        handler = self._handlers.get(event.kind, self._default_handler)
+        if handler is None:
+            raise KeyError(f"no handler registered for event kind {event.kind!r}")
+        profiler = self._profiler
+        if profiler is None:
+            handler(event)
+        else:
+            start = perf_counter()
+            handler(event)
+            profiler.record_event(event.kind, len(heap), perf_counter() - start)
+        return event
+
+    def _dispatch_process(self, process: SimProcess, process_time: float) -> None:
+        """Advance the clock to a polled process's event and let it handle it."""
         self._poll_cache = None
         # Hand the process the *raw* polled time: a process whose
         # next_event_time regressed behind the clock must get the chance to
         # detect it (the scheduler engine raises on backwards time) rather
         # than having the kernel silently clamp the error away.
-        self._now = max(self._now, process_time)
+        if process_time > self._now:
+            self._now = process_time
+        profiler = self._profiler
         if profiler is None:
             process.handle(process_time)
         else:
             start = perf_counter()
             process.handle(process_time)
             profiler.record_process(type(process).__name__, perf_counter() - start)
-        return Event(self._now, -1, "process", {"process": process})
 
     def pause(self) -> None:
         """Stop the current ``run`` after the in-flight event (for co-simulation)."""
@@ -280,21 +402,157 @@ class SimulationKernel:
         Without an ``until`` bound, the run also stops once only *periodic*
         processes (see :class:`PeriodicProcess`) have pending ticks -- they
         never drain on their own.
+
+        This is the hot loop: prune, poll, pick and dispatch are fused into
+        one pass per event (``peek()`` + ``step()`` would each redo the first
+        two).  Kernels with no polled processes -- the overwhelmingly common
+        shape -- run a further-specialized inner loop with the prune, bound
+        check and dispatch inlined.  Event order is identical to stepping
+        one event at a time.
         """
         self._paused = False
         executed = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         while True:
             if max_events is not None and executed >= max_events:
                 break
-            next_time = self.peek()
-            if next_time is None or (until is not None and next_time > until):
+            if not self._processes:
+                # Fast loop: nothing to poll, so the next event is always the
+                # heap head.  The head is popped *before* the ``until`` bound
+                # check and re-pushed in the (at most once per run) case where
+                # it lies beyond the bound -- cheaper than peeking every
+                # event.  Falls back to the general loop only if a handler
+                # registers a process mid-run (which also invalidates the
+                # hoisted profiler/handler locals, so they are re-read).
+                handlers = self._handlers
+                processes = self._processes
+                profiler = self._profiler
+                unbounded = max_events is None
+                if profiler is None:
+                    while heap:
+                        head = heappop(heap)
+                        event = head[2]
+                        if event.cancelled:
+                            continue
+                        time_s = head[0]
+                        if until is not None and time_s > until:
+                            heappush(heap, head)
+                            return executed
+                        if time_s > self._now:
+                            self._now = time_s
+                        handler = handlers.get(event.kind)
+                        if handler is None:
+                            handler = self._default_handler
+                            if handler is None:
+                                raise KeyError(
+                                    f"no handler registered for event kind {event.kind!r}"
+                                )
+                        handler(event)
+                        executed += 1
+                        if not unbounded and executed >= max_events:
+                            return executed
+                        if self._paused:
+                            return executed
+                        if stop is not None and stop():
+                            return executed
+                        if processes:
+                            break
+                    else:
+                        return executed
+                    continue
+                # Profiled twin of the loop above: the per-event tally is
+                # inlined (dict get + list update on the profiler's own
+                # stores) because a record_event() call per event costs more
+                # than the tally itself.  The heap-depth maximum runs on a
+                # local and is merged back in the ``finally`` so every exit
+                # path (including handler exceptions) leaves the profiler
+                # consistent.
+                by_kind = profiler._by_kind
+                stats_of = by_kind.get
+                max_depth = profiler.max_heap_depth
+                try:
+                    while heap:
+                        head = heappop(heap)
+                        event = head[2]
+                        if event.cancelled:
+                            profiler.prunes += 1
+                            continue
+                        time_s = head[0]
+                        if until is not None and time_s > until:
+                            heappush(heap, head)
+                            return executed
+                        if time_s > self._now:
+                            self._now = time_s
+                        kind = event.kind
+                        handler = handlers.get(kind)
+                        if handler is None:
+                            handler = self._default_handler
+                            if handler is None:
+                                raise KeyError(
+                                    f"no handler registered for event kind {kind!r}"
+                                )
+                        start = perf_counter()
+                        handler(event)
+                        wall_s = perf_counter() - start
+                        stats = stats_of(kind)
+                        if stats is None:
+                            by_kind[kind] = [1, wall_s]
+                        else:
+                            stats[0] += 1
+                            stats[1] += wall_s
+                        depth = len(heap)
+                        if depth > max_depth:
+                            max_depth = depth
+                        executed += 1
+                        if not unbounded and executed >= max_events:
+                            return executed
+                        if self._paused:
+                            return executed
+                        if stop is not None and stop():
+                            return executed
+                        if processes:
+                            break
+                    else:
+                        return executed
+                finally:
+                    if max_depth > profiler.max_heap_depth:
+                        profiler.max_heap_depth = max_depth
+                continue
+            self._prune()
+            process, process_time = self._poll_processes()
+            if heap:
+                head_time = heap[0][0]
+                if process is None or head_time <= process_time:
+                    next_time, next_is_heap = head_time, True
+                else:
+                    next_time, next_is_heap = process_time, False
+            elif process is not None:
+                next_time, next_is_heap = process_time, False
+            else:
                 break
-            if until is None and self._only_periodic_pending():
+            if until is not None:
+                if next_time > until:
+                    break
+            elif not heap and self._only_periodic_pending():
                 break
-            self.step()
+            if next_is_heap:
+                self._dispatch_heap_event()
+            else:
+                self._dispatch_process(process, process_time)  # type: ignore[arg-type]
             executed += 1
             if self._paused:
                 break
             if stop is not None and stop():
                 break
         return executed
+
+
+#: Shared payload for bulk-scheduled events with no data.  Never mutate.
+_EMPTY_DATA: Dict[str, Any] = {}
+
+#: Hot-path aliases: module-level loads are cheaper than attribute chains
+#: inside the per-event scheduling methods.
+_EVENT_NEW = Event.__new__
+_heappush = heapq.heappush

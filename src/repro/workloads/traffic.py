@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
 __all__ = [
     "constant_rate_arrivals",
     "poisson_arrivals",
@@ -34,21 +32,16 @@ def constant_rate_arrivals(rps: float, duration_s: float, start_s: float = 0.0) 
 def poisson_arrivals(
     rps: float, duration_s: float, seed: int = 0, start_s: float = 0.0
 ) -> List[float]:
-    """Poisson-process arrivals with mean rate ``rps`` over ``duration_s``."""
-    if rps <= 0:
-        raise ValueError("rps must be positive")
-    if duration_s < 0:
-        raise ValueError("duration_s must be >= 0")
-    rng = np.random.default_rng(seed)
-    arrivals: List[float] = []
-    t = start_s
-    end = start_s + duration_s
-    while True:
-        t += float(rng.exponential(1.0 / rps))
-        if t >= end:
-            break
-        arrivals.append(t)
-    return arrivals
+    """Poisson-process arrivals with mean rate ``rps`` over ``duration_s``.
+
+    Generated in vectorized blocks through
+    :class:`repro.sim.arrivals.PoissonSource`; the produced times are
+    bit-identical to the scalar ``t += rng.exponential(1/rps)`` loop this
+    function used to run (same RNG value stream, same float additions).
+    """
+    from repro.sim.arrivals import PoissonSource
+
+    return PoissonSource(rps, duration_s, seed=seed, start_s=start_s).times()
 
 
 def burst_arrivals(
