@@ -268,6 +268,8 @@ def backpressure_sweep(
     processes: Optional[int] = None,
     ordered: bool = True,
     first_point_extra: Optional[Mapping[str, object]] = None,
+    backend: Optional[object] = None,
+    checkpoint: Optional[str] = None,
 ) -> ResultStore:
     """Run the backpressure grid through the sweep orchestrator.
 
@@ -275,6 +277,12 @@ def backpressure_sweep(
     points vary widely in cost (queue depth and heterogeneity change event
     counts), which is exactly where unordered pools beat fixed chunking.  The
     collected rows are identical either way.
+
+    ``backend`` / ``checkpoint`` pass through to
+    :func:`repro.sim.sweep.run_sweep`: any execution backend (including the
+    multi-node ``socket-queue`` server) and an optional JSONL journal that
+    makes the sweep kill/resume-safe.  Rows are byte-identical across all of
+    them.
 
     ``first_point_extra`` merges extra params into the *first* grid point
     only -- how the CLI attaches ``trace_out``/``telemetry_out`` artifact
@@ -292,7 +300,9 @@ def backpressure_sweep(
         scenarios[0] = dataclasses.replace(
             scenarios[0], params={**scenarios[0].params, **first_point_extra}
         )
-    return run_sweep(scenarios, processes=processes, ordered=ordered)
+    return run_sweep(
+        scenarios, processes=processes, ordered=ordered, backend=backend, checkpoint=checkpoint
+    )
 
 
 def retry_amplification_sweep(
@@ -301,6 +311,8 @@ def retry_amplification_sweep(
     base_seed: int = 2026,
     processes: Optional[int] = None,
     ordered: bool = True,
+    backend: Optional[object] = None,
+    checkpoint: Optional[str] = None,
 ) -> ResultStore:
     """The retry-amplification axis: retries off vs on over a saturated fleet.
 
@@ -324,6 +336,8 @@ def retry_amplification_sweep(
         base_seed=base_seed,
         processes=processes,
         ordered=ordered,
+        backend=backend,
+        checkpoint=checkpoint,
     )
 
 

@@ -163,11 +163,18 @@ def cluster_cost_sweep(
     processes: Optional[int] = None,
     ordered: bool = True,
     first_point_extra: Optional[Mapping[str, object]] = None,
+    backend: Optional[object] = None,
+    checkpoint: Optional[str] = None,
 ) -> ResultStore:
     """Run the cluster-cost grid through the sweep orchestrator.
 
     ``ordered=False`` uses work-stealing pool execution (identical rows,
     better worker utilisation on heterogeneous grids).
+
+    ``backend`` / ``checkpoint`` pass through to
+    :func:`repro.sim.sweep.run_sweep`: any execution backend (including the
+    multi-node ``socket-queue`` server) and an optional JSONL journal that
+    makes the sweep kill/resume-safe.  Rows are byte-identical across all.
 
     ``first_point_extra`` merges extra params into the *first* grid point
     only -- how the CLI attaches ``trace_out``/``telemetry_out`` artifact
@@ -184,7 +191,9 @@ def cluster_cost_sweep(
         scenarios[0] = dataclasses.replace(
             scenarios[0], params={**scenarios[0].params, **first_point_extra}
         )
-    return run_sweep(scenarios, processes=processes, ordered=ordered)
+    return run_sweep(
+        scenarios, processes=processes, ordered=ordered, backend=backend, checkpoint=checkpoint
+    )
 
 
 def cluster_costs_experiment() -> List[Dict[str, object]]:

@@ -8,6 +8,9 @@ Usage::
     repro-serverless-costs trace --requests 50000 --output trace.csv
     repro-serverless-costs trace --simulate backpressure --retry on --trace-out run_trace.json
     repro-serverless-costs sweep --processes 4 --output sweep.csv
+    repro-serverless-costs sweep --backend futures --unordered --checkpoint sweep.jsonl
+    repro-serverless-costs sweep --backend socket-queue:0.0.0.0:7077 --output sweep.csv
+    repro-serverless-costs sweep-worker --connect head-node:7077
     repro-serverless-costs cluster --fleet-sizes 8,16 --policies best_fit,worst_fit --output cluster.csv
     repro-serverless-costs cluster --trace-out cluster_trace.json --telemetry-out cluster_tel.csv
     repro-serverless-costs backpressure --queue-depths 0,8 --policies best_fit,cost_fit --output bp.csv
@@ -26,6 +29,43 @@ from repro.analysis.experiments import EXPERIMENTS, list_experiments, run_experi
 from repro.core.report import render_table, to_markdown_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_sweep_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution flags shared by every sweeping subcommand.
+
+    ``sweep``, ``cluster`` and ``backpressure`` all fan a grid out through
+    :func:`repro.sim.sweep.run_sweep`, so they expose the same knobs: worker
+    count, completion order, execution backend, and checkpoint journal.
+    """
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="Worker processes (default: sequential; -1 uses every core)",
+    )
+    parser.add_argument(
+        "--unordered",
+        action="store_true",
+        help="Work-stealing execution (identical rows, better utilisation on uneven grids)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "Execution backend: serial, multiprocessing, futures, or "
+            "socket-queue[:host][:port] (a TCP work-queue server that 'sweep-worker' "
+            "processes on any machine connect to; default: pick from --processes)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help=(
+            "JSONL journal path: completed grid points are appended as they finish, "
+            "and re-running with the same journal skips them (kill/resume-safe sweeps)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,12 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="constant",
         help="Arrival process for every scenario",
     )
-    sweep_parser.add_argument(
-        "--processes",
-        type=int,
-        default=None,
-        help="Worker processes (default: sequential; -1 uses every core)",
-    )
+    _add_sweep_execution_flags(sweep_parser)
     sweep_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
     sweep_parser.add_argument("--output", help="Also write the result rows to this CSV path")
     sweep_parser.add_argument(
@@ -209,17 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
             "default: off, failures stay terminal)"
         ),
     )
-    cluster_parser.add_argument(
-        "--processes",
-        type=int,
-        default=None,
-        help="Worker processes (default: sequential; -1 uses every core)",
-    )
-    cluster_parser.add_argument(
-        "--unordered",
-        action="store_true",
-        help="Work-stealing pool execution (identical rows, better utilisation on uneven grids)",
-    )
+    _add_sweep_execution_flags(cluster_parser)
     cluster_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
     cluster_parser.add_argument("--output", help="Also write the result rows to this CSV path")
     cluster_parser.add_argument(
@@ -315,17 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the retry_amplification column compares the twin rows"
         ),
     )
-    backpressure_parser.add_argument(
-        "--processes",
-        type=int,
-        default=None,
-        help="Worker processes (default: sequential; -1 uses every core)",
-    )
-    backpressure_parser.add_argument(
-        "--unordered",
-        action="store_true",
-        help="Work-stealing pool execution (identical rows, better utilisation on uneven grids)",
-    )
+    _add_sweep_execution_flags(backpressure_parser)
     backpressure_parser.add_argument(
         "--seed", type=int, default=2026, help="Base seed for per-run seeds"
     )
@@ -343,6 +358,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     backpressure_parser.add_argument(
         "--format", choices=("text", "markdown"), default="text", help="Output table format"
+    )
+
+    worker_parser = subparsers.add_parser(
+        "sweep-worker",
+        help="Join a socket-queue sweep as a remote worker process",
+        description=(
+            "Connect to a sweep running with --backend socket-queue[:host]:port "
+            "(on this machine or another) and execute grid points from its work "
+            "queue until the sweep finishes.  Start as many workers on as many "
+            "machines as you like; results are byte-identical regardless of how "
+            "the work lands.  Only connect to sweep servers you trust: the work "
+            "protocol is pickle over TCP."
+        ),
+    )
+    worker_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="Address of the sweep's socket-queue server (a bare port implies 127.0.0.1)",
+    )
+    worker_parser.add_argument(
+        "--retry-window-s",
+        type=float,
+        default=30.0,
+        help="Keep retrying the initial connection for this long (seconds)",
+    )
+    worker_parser.add_argument(
+        "--quiet", action="store_true", help="Suppress per-point progress lines"
     )
     return parser
 
@@ -481,6 +524,7 @@ def _cmd_trace_simulate(args: "argparse.Namespace") -> int:
 
 
 def _cmd_sweep(args: "argparse.Namespace") -> int:
+    from repro.sim.backends import SweepPointError
     from repro.sim.sweep import build_grid, run_sweep
 
     platforms = [name.strip() for name in args.platforms.split(",") if name.strip()]
@@ -500,8 +544,14 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
             common={"duration_s": args.duration_s, "arrival_process": args.arrival_process},
             base_seed=args.seed,
         )
-        store = run_sweep(scenarios, processes=args.processes)
-    except (KeyError, ValueError) as error:
+        store = run_sweep(
+            scenarios,
+            processes=args.processes,
+            ordered=not args.unordered,
+            backend=args.backend,
+            checkpoint=args.checkpoint,
+        )
+    except (KeyError, ValueError, SweepPointError) as error:
         print(_error_message(error), file=sys.stderr)
         return 2
     print(f"== sweep: {len(scenarios)} scenarios (base seed {args.seed}) ==")
@@ -517,6 +567,7 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
 
 def _cmd_cluster(args: "argparse.Namespace") -> int:
     from repro.analysis.cluster_costs import cluster_cost_sweep
+    from repro.sim.backends import SweepPointError
 
     try:
         fleet_sizes = [int(value) for value in args.fleet_sizes.split(",") if value.strip()]
@@ -557,8 +608,10 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
             processes=args.processes,
             ordered=not args.unordered,
             first_point_extra=_obs_first_point_extra(args),
+            backend=args.backend,
+            checkpoint=args.checkpoint,
         )
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, SweepPointError) as error:
         print(_error_message(error), file=sys.stderr)
         return 2
     print(f"== cluster: {len(store)} scenarios (base seed {args.seed}) ==")
@@ -574,6 +627,7 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
 
 def _cmd_backpressure(args: "argparse.Namespace") -> int:
     from repro.analysis.backpressure import backpressure_sweep
+    from repro.sim.backends import SweepPointError
 
     try:
         queue_depths = [int(value) for value in args.queue_depths.split(",") if value.strip()]
@@ -617,8 +671,10 @@ def _cmd_backpressure(args: "argparse.Namespace") -> int:
             processes=args.processes,
             ordered=not args.unordered,
             first_point_extra=_obs_first_point_extra(args),
+            backend=args.backend,
+            checkpoint=args.checkpoint,
         )
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, SweepPointError) as error:
         print(_error_message(error), file=sys.stderr)
         return 2
     print(f"== backpressure: {len(store)} scenarios (base seed {args.seed}) ==")
@@ -629,6 +685,32 @@ def _cmd_backpressure(args: "argparse.Namespace") -> int:
     if args.output:
         written = store.to_csv(args.output)
         print(f"wrote {written} rows to {args.output}")
+    return 0
+
+
+def _cmd_sweep_worker(args: "argparse.Namespace") -> int:
+    from repro.sim.backends import run_sweep_worker
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host:
+        # A bare port means "the sweep runs on this machine".
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not 0 < port < 65536:
+        print(f"invalid --connect address {args.connect!r}: expected HOST:PORT", file=sys.stderr)
+        return 2
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    try:
+        completed = run_sweep_worker(
+            host, port, retry_window_s=args.retry_window_s, log=log
+        )
+    except OSError as error:
+        print(f"could not reach sweep server at {host}:{port}: {error}", file=sys.stderr)
+        return 2
+    print(f"sweep worker done: completed {completed} points")
     return 0
 
 
@@ -648,6 +730,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cluster(args)
     if args.command == "backpressure":
         return _cmd_backpressure(args)
+    if args.command == "sweep-worker":
+        return _cmd_sweep_worker(args)
     parser.print_help()
     return 1
 

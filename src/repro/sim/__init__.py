@@ -29,8 +29,15 @@ scheduler (`repro.sched.engine`) into one reusable layer:
   re-loads the fleet instead of vanishing.
 - :mod:`repro.sim.sweep` / :mod:`repro.sim.results` -- a scenario-sweep
   orchestrator that fans a grid of (platform x workload x config) runs out
-  across processes with per-run derived seeds, and the structured result
-  store the rows land in.
+  across a pluggable execution backend with per-run derived seeds, and the
+  structured result store the rows land in.
+- :mod:`repro.sim.backends` / :mod:`repro.sim.checkpoint` -- the sweep
+  execution seam (:class:`~repro.sim.backends.SweepBackend`: in-process
+  serial, multiprocessing pool, ``concurrent.futures`` executor, or a
+  multi-node TCP work queue served to ``sweep-worker`` processes) and the
+  append-only JSONL checkpoint journal that makes 10k+-point grids
+  kill/resume-safe.  Every backend yields byte-identical results because
+  rows are reassembled by grid index from per-point derived seeds.
 
 Layering: ``kernel``/``events``/``rng``/``results`` depend only on the
 standard library and numpy; ``sweep`` sits at the top of the package and may
@@ -38,6 +45,18 @@ import domain modules (platform presets, workloads) to provide ready-made
 scenario runners.
 """
 
+from repro.sim.backends import (
+    FuturesBackend,
+    MultiprocessingBackend,
+    PointOutcome,
+    SerialBackend,
+    SocketQueueBackend,
+    SweepBackend,
+    SweepPointError,
+    resolve_backend,
+    run_sweep_worker,
+)
+from repro.sim.checkpoint import SweepJournal
 from repro.sim.events import (
     EventBus,
     InstanceCountChanged,
@@ -70,9 +89,12 @@ __all__ = [
     "Event",
     "EventBus",
     "FeedbackChannel",
+    "FuturesBackend",
     "InstanceCountChanged",
     "KeepAliveExpired",
+    "MultiprocessingBackend",
     "PeriodicProcess",
+    "PointOutcome",
     "PublishedRate",
     "RequestCompleted",
     "RequestFailed",
@@ -88,15 +110,22 @@ __all__ = [
     "SandboxProvisioned",
     "SandboxTerminated",
     "Scenario",
+    "SerialBackend",
     "ServiceTimeModifier",
     "SimEvent",
     "SimProcess",
     "SimulationKernel",
+    "SocketQueueBackend",
     "StaticSlowdown",
+    "SweepBackend",
+    "SweepJournal",
+    "SweepPointError",
     "build_grid",
     "derive_seed",
     "named_generator",
+    "resolve_backend",
     "resolve_retry",
     "run_scenario",
     "run_sweep",
+    "run_sweep_worker",
 ]

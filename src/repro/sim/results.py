@@ -9,12 +9,28 @@ summaries, and CSV export for downstream plotting.
 from __future__ import annotations
 
 import csv
+import json
 import math
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "json_default"]
 
 Row = Dict[str, object]
+
+
+def json_default(value: object) -> object:
+    """``json.dumps`` fallback for result rows: numpy scalars become Python scalars.
+
+    Result rows are scalar-valued (summaries produce int/float/str/bool),
+    but numpy types occasionally leak through; ``.item()`` converts them to
+    the Python scalar whose ``repr`` the CSV writer would have produced, so
+    JSON-journaled rows stay byte-identical on replay.  Anything else is a
+    genuine error -- silently stringifying it would *change* replayed CSVs.
+    """
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"result rows must hold scalars; cannot serialize {type(value).__name__}: {value!r}")
 
 
 class ResultStore:
@@ -117,6 +133,24 @@ class ResultStore:
             for row in self._rows:
                 writer.writerow(row)
         return len(self._rows)
+
+    def to_jsonl(self, path: str) -> int:
+        """Write one JSON object per row; returns the number of rows written.
+
+        Unlike CSV, JSONL preserves types exactly (int vs float vs str, NaN,
+        missing keys stay missing) -- the same encoding the sweep checkpoint
+        journal uses -- so :meth:`from_jsonl` is a lossless round-trip.
+        """
+        with open(path, "w") as handle:
+            for row in self._rows:
+                handle.write(json.dumps(row, default=json_default) + "\n")
+        return len(self._rows)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "ResultStore":
+        """Read a store back from a :meth:`to_jsonl` file (blank lines skipped)."""
+        with open(path, "r") as handle:
+            return cls(json.loads(line) for line in handle if line.strip())
 
     @classmethod
     def from_csv(cls, path: str) -> "ResultStore":

@@ -2,10 +2,14 @@
 
 A *scenario* is one fully specified simulation run: a picklable reference to
 a top-level runner function (``"package.module:function"``), a parameter
-mapping, and a seed.  The orchestrator fans a list of scenarios out across
-worker processes (``multiprocessing.Pool``) and collects the returned rows --
-in scenario order, so parallel and sequential execution produce identical
-:class:`~repro.sim.results.ResultStore` contents.
+mapping, and a seed.  The orchestrator fans a list of scenarios out across a
+pluggable execution backend (:mod:`repro.sim.backends`: in-process serial, a
+``multiprocessing`` pool, a ``concurrent.futures`` executor, or a multi-node
+TCP work queue) and collects the returned rows -- always reassembled into
+scenario order, so every backend produces identical
+:class:`~repro.sim.results.ResultStore` contents.  Completed points can be
+journaled to a checkpoint (:mod:`repro.sim.checkpoint`) as they finish and
+skipped on resume, so huge grids survive mid-sweep failures.
 
 Seeding: :func:`build_grid` derives every scenario's seed from one base seed
 and the scenario's identity via :func:`repro.sim.rng.derive_seed`, so a sweep
@@ -22,15 +26,18 @@ from __future__ import annotations
 
 import importlib
 import itertools
-import multiprocessing
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.sim.backends import PointOutcome, SweepBackend, SweepPointError, resolve_backend
+from repro.sim.checkpoint import SweepJournal
 from repro.sim.results import ResultStore
 from repro.sim.rng import derive_seed
 
 __all__ = [
     "Scenario",
+    "SweepPointError",
     "build_grid",
     "platform_point",
     "resolve_platform",
@@ -81,6 +88,26 @@ def run_scenario(scenario: Scenario) -> List[Dict[str, object]]:
     return [dict(row) for row in result]
 
 
+_ID_ESCAPES = (("%", "%25"), ("/", "%2F"), ("=", "%3D"))
+
+
+def _escape_id_component(text: str) -> str:
+    """Make one axis name/value safe for the ``name=value/...`` scenario id.
+
+    The scenario id doubles as the seed-derivation key, so two distinct grid
+    points must never render to the same string -- yet an axis value like
+    the platform label ``"aws/lambda"`` or ``"memory=2gb"`` contains the
+    very separators the id is assembled from, and unescaped it can alias a
+    *different* combination's id (and therefore its seed stream).
+    Percent-encoding exactly the structural characters (``%`` first, so the
+    encoding is injective) fixes that while keeping every legacy-safe value
+    byte-identical: existing CSVs and golden files reproduce unchanged.
+    """
+    for raw, escaped in _ID_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
 def build_grid(
     runner: str,
     axes: Mapping[str, Sequence[object]],
@@ -93,15 +120,22 @@ def build_grid(
     Every combination becomes one :class:`Scenario` whose params are
     ``common`` plus the axis values, whose id names the combination, and
     whose seed is derived from ``base_seed`` and the scenario id (stable
-    under grid re-ordering).  Pass ``fixed_seed`` to give every point the
-    same seed instead (e.g. to reproduce a legacy per-figure seeding scheme).
+    under grid re-ordering).  Axis names and values containing the id
+    separators (``/``, ``=``, and the escape character ``%``) are
+    percent-encoded in the id, so distinct combinations always get distinct
+    ids and seed streams; separator-free values render exactly as before.
+    Pass ``fixed_seed`` to give every point the same seed instead (e.g. to
+    reproduce a legacy per-figure seeding scheme).
     """
     names = list(axes)
     scenarios: List[Scenario] = []
     for values in itertools.product(*(axes[name] for name in names)):
         point: Dict[str, object] = dict(common or {})
         point.update(zip(names, values))
-        scenario_id = "/".join(f"{name}={point[name]}" for name in names)
+        scenario_id = "/".join(
+            f"{_escape_id_component(name)}={_escape_id_component(str(point[name]))}"
+            for name in names
+        )
         seed = fixed_seed if fixed_seed is not None else derive_seed(base_seed, scenario_id)
         scenarios.append(Scenario(scenario_id=scenario_id, runner=runner, params=point, seed=seed))
     return scenarios
@@ -110,7 +144,7 @@ def build_grid(
 def _run_indexed_scenario(
     indexed: "Tuple[int, Scenario]",
 ) -> "Tuple[int, List[Dict[str, object]]]":
-    """Worker shim for unordered pools: tag each result with its grid index."""
+    """Index-tagging worker shim (legacy; backends now return full outcomes)."""
     index, scenario = indexed
     return index, run_scenario(scenario)
 
@@ -120,43 +154,96 @@ def run_sweep(
     processes: Optional[int] = None,
     store: Optional[ResultStore] = None,
     ordered: bool = True,
+    backend: Union[str, SweepBackend, None] = None,
+    checkpoint: Optional[str] = None,
 ) -> ResultStore:
     """Run all scenarios and collect their rows, in scenario order.
 
-    ``processes=None``/``0``/``1`` runs sequentially in-process;
-    ``processes=N`` fans out over a pool of N workers; ``processes=-1`` uses
-    every available core.  Results are identical either way because each
-    scenario is self-contained (runner path + params + seed) and rows are
-    collected in submission order.
+    Execution is delegated to a pluggable :mod:`repro.sim.backends` backend.
+    With ``backend=None`` the historical defaults apply byte-for-byte:
+    ``processes=None``/``0``/``1`` runs sequentially in-process,
+    ``processes=N`` fans out over a multiprocessing pool of N workers, and
+    ``processes=-1`` uses every available core.  ``backend`` may also be a
+    name/spec string (``"serial"``, ``"multiprocessing"``, ``"futures"``, or
+    ``"socket-queue[:host]:port"`` -- a TCP work-queue server that remote
+    ``repro-serverless-costs sweep-worker`` processes connect to) or any
+    object implementing :class:`~repro.sim.backends.SweepBackend`.  Results
+    are identical across all of them because each scenario is self-contained
+    (runner path + params + seed) and rows are reassembled into grid order.
 
-    ``ordered=False`` switches the pool to work-stealing execution
-    (``imap_unordered``): workers pull the next scenario the moment they
-    finish their current one, so a heterogeneous grid -- a few expensive
-    co-simulations among many cheap points -- no longer leaves workers idle
-    behind ``pool.map``'s fixed chunking.  Completed results carry their grid
-    index and are collected *post hoc* into scenario order, so the resulting
-    :class:`ResultStore` (and any CSV written from it) is byte-identical to
-    the ordered mode.
+    ``ordered=False`` requests work-stealing execution where the backend
+    distinguishes (the multiprocessing pool's ``imap_unordered``): workers
+    pull the next scenario the moment they finish their current one, so a
+    heterogeneous grid -- a few expensive co-simulations among many cheap
+    points -- no longer leaves workers idle behind fixed chunking.  The
+    resulting :class:`ResultStore` (and any CSV written from it) is
+    byte-identical to the ordered mode.
+
+    ``checkpoint`` names a :class:`~repro.sim.checkpoint.SweepJournal` JSONL
+    file: every point's rows are journaled the moment they arrive, and
+    points already journaled under the same ``(scenario_id, seed)`` are
+    skipped, so an interrupted sweep resumes where it left off and its final
+    CSV is byte-identical to an uninterrupted run.
+
+    A failing grid point raises :class:`SweepPointError` naming the point's
+    ``scenario_id`` and ``seed`` (with the worker traceback attached when it
+    ran remotely) -- *after* all rows completed so far have been flushed to
+    the checkpoint, so with a journal attached a crash only ever costs the
+    failing point.
     """
     store = store if store is not None else ResultStore()
-    if processes is not None and processes < 0:
-        processes = multiprocessing.cpu_count()
-    if processes is None or processes <= 1 or len(scenarios) <= 1:
-        for scenario in scenarios:
-            store.extend(run_scenario(scenario))
-        return store
-    with multiprocessing.Pool(processes=min(processes, len(scenarios))) as pool:
-        if ordered:
-            for rows in pool.map(run_scenario, list(scenarios), chunksize=1):
-                store.extend(rows)
-        else:
-            collected: List[Optional[List[Dict[str, object]]]] = [None] * len(scenarios)
-            for index, rows in pool.imap_unordered(
-                _run_indexed_scenario, list(enumerate(scenarios)), chunksize=1
-            ):
-                collected[index] = rows
-            for rows in collected:
-                store.extend(rows or [])
+    resolved = resolve_backend(
+        backend,
+        processes=processes,
+        grid_size=len(scenarios),
+        announce=lambda message: print(message, file=sys.stderr),
+    )
+    collected: List[Optional[List[Dict[str, object]]]] = [None] * len(scenarios)
+    journal = SweepJournal(checkpoint) if checkpoint is not None else None
+    pending: List[Tuple[int, Scenario]] = list(enumerate(scenarios))
+    if journal is not None:
+        journaled = journal.load()
+        if journaled:
+            fresh: List[Tuple[int, Scenario]] = []
+            for index, scenario in pending:
+                rows = journaled.get((scenario.scenario_id, scenario.seed))
+                if rows is None:
+                    fresh.append((index, scenario))
+                else:
+                    collected[index] = rows
+            skipped = len(pending) - len(fresh)
+            if skipped:
+                print(
+                    f"checkpoint {journal.path}: skipping {skipped} already-journaled "
+                    f"points, running {len(fresh)}",
+                    file=sys.stderr,
+                )
+            pending = fresh
+    failure: Optional[PointOutcome] = None
+    outcomes = resolved.run(pending, ordered=ordered)
+    try:
+        for outcome in outcomes:
+            if outcome.failed:
+                failure = outcome
+                break
+            if collected[outcome.index] is not None:
+                continue  # duplicate delivery (a re-queued socket-queue item)
+            collected[outcome.index] = outcome.rows if outcome.rows is not None else []
+            if journal is not None:
+                journal.record(outcome.scenario_id, outcome.seed, collected[outcome.index])
+    finally:
+        closer = getattr(outcomes, "close", None)
+        if closer is not None:
+            closer()
+        if journal is not None:
+            journal.close()  # every completed row is on disk before any re-raise
+    if failure is not None:
+        error = failure.to_error()
+        if failure.cause is not None:
+            raise error from failure.cause
+        raise error
+    for rows in collected:
+        store.extend(rows or [])
     return store
 
 

@@ -1,0 +1,519 @@
+"""Tests for pluggable sweep backends, checkpoint/resume, and the sweep-layer bugfixes.
+
+The tentpole invariant: every backend (serial, multiprocessing pool, futures
+executor, multi-node socket queue) produces *byte-identical* sweep CSVs, in
+ordered and work-stealing mode, across kill/resume boundaries, because each
+scenario is self-contained (runner path + params + derived seed) and the
+sweep layer reassembles rows by grid index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser, main
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    FuturesBackend,
+    MultiprocessingBackend,
+    PointOutcome,
+    SerialBackend,
+    SocketQueueBackend,
+    SweepPointError,
+    execute_point,
+    resolve_backend,
+    run_sweep_worker,
+)
+from repro.sim.checkpoint import SweepJournal
+from repro.sim.rng import derive_seed
+from repro.sim.sweep import build_grid, run_sweep
+
+
+def _grid(rates=(1.0, 2.0), base_seed=7):
+    """A small, cheap grid: the minimal echo workload in virtual time."""
+    return build_grid(
+        runner="repro.sim.sweep:platform_point",
+        axes={"platform": ["aws_lambda_like"], "workload": ["minimal"], "rps": list(rates)},
+        common={"duration_s": 5.0, "arrival_process": "constant"},
+        base_seed=base_seed,
+    )
+
+
+def _csv_bytes(store, path) -> bytes:
+    store.to_csv(str(path))
+    return path.read_bytes()
+
+
+def _broken(scenario):
+    """The same grid point, pointed at a platform preset that does not exist."""
+    return dataclasses.replace(scenario, params={**scenario.params, "platform": "no_such"})
+
+
+class _RecordingSerial(SerialBackend):
+    """Serial backend that records which grid indexes it actually executed."""
+
+    def __init__(self):
+        self.ran = []
+
+    def run(self, items, ordered=True):
+        for item in items:
+            self.ran.append(item[0])
+            yield execute_point(item, keep_cause=True)
+
+
+# ----------------------------------------------------------------------
+# Satellite bugfix: seed/scenario-id aliasing in build_grid
+# ----------------------------------------------------------------------
+
+
+class TestSeedAliasingFix:
+    def test_separator_values_no_longer_collide(self):
+        # Before escaping, (a="x", b="y/b=y") and (a="x/b=y", b="y") both
+        # rendered as "a=x/b=y/b=y" -- aliased ids, aliased seed streams.
+        scenarios = build_grid(
+            runner="r", axes={"a": ["x", "x/b=y"], "b": ["y", "y/b=y"]}, base_seed=1
+        )
+        ids = [s.scenario_id for s in scenarios]
+        assert len(set(ids)) == len(ids) == 4
+        assert len({s.seed for s in scenarios}) == 4
+
+    def test_structural_characters_are_percent_encoded(self):
+        (s,) = build_grid(runner="r", axes={"platform": ["aws/lambda"]}, base_seed=0)
+        assert s.scenario_id == "platform=aws%2Flambda"
+        (s,) = build_grid(runner="r", axes={"p": ["a=b"]}, base_seed=0)
+        assert s.scenario_id == "p=a%3Db"
+        (s,) = build_grid(runner="r", axes={"p": ["50%"]}, base_seed=0)
+        assert s.scenario_id == "p=50%25"
+
+    def test_axis_names_are_escaped_too(self):
+        (s,) = build_grid(runner="r", axes={"a=b": ["x"]}, base_seed=0)
+        assert s.scenario_id == "a%3Db=x"
+
+    def test_escaping_is_injective_for_preescaped_text(self):
+        # A value that *looks* escaped must not collide with the value whose
+        # escape it resembles: "%" itself is encoded first.
+        a = build_grid(runner="r", axes={"v": ["a%2Fb"]}, base_seed=0)[0]
+        b = build_grid(runner="r", axes={"v": ["a/b"]}, base_seed=0)[0]
+        assert a.scenario_id != b.scenario_id
+        assert a.seed != b.seed
+
+    def test_legacy_ids_and_seeds_are_byte_identical(self):
+        # Separator-free values -- every value the stock CLIs produce --
+        # render exactly as before, so existing CSVs and goldens reproduce.
+        (s,) = build_grid(
+            runner="r", axes={"platform": ["aws_lambda_like"], "rps": [1.5]}, base_seed=2026
+        )
+        assert s.scenario_id == "platform=aws_lambda_like/rps=1.5"
+        assert s.seed == derive_seed(2026, "platform=aws_lambda_like/rps=1.5")
+
+    @given(
+        a=st.lists(st.text(alphabet="ab/=%", max_size=5), min_size=1, max_size=4, unique=True),
+        b=st.lists(st.text(alphabet="ab/=%", max_size=5), min_size=1, max_size=4, unique=True),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_points_always_get_distinct_ids(self, a, b):
+        scenarios = build_grid(runner="r", axes={"a": a, "b": b}, base_seed=3)
+        ids = [s.scenario_id for s in scenarios]
+        assert len(set(ids)) == len(ids) == len(a) * len(b)
+
+
+# ----------------------------------------------------------------------
+# Tentpole: backend equivalence
+# ----------------------------------------------------------------------
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def reference_bytes(self, tmp_path_factory):
+        store = run_sweep(_grid(), backend="serial")
+        return _csv_bytes(store, tmp_path_factory.mktemp("ref") / "ref.csv")
+
+    @pytest.mark.parametrize("backend", ["serial", "multiprocessing", "futures"])
+    @pytest.mark.parametrize("ordered", [True, False])
+    def test_in_process_backends_byte_identical(self, backend, ordered, reference_bytes, tmp_path):
+        store = run_sweep(_grid(), backend=backend, processes=2, ordered=ordered)
+        assert _csv_bytes(store, tmp_path / "out.csv") == reference_bytes
+
+    def test_socket_queue_backend_byte_identical(self, reference_bytes, tmp_path):
+        backend = SocketQueueBackend(port=0, timeout_s=60.0)
+        host, port = backend.address
+        workers = [
+            threading.Thread(target=run_sweep_worker, args=(host, port), daemon=True)
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        store = run_sweep(_grid(), backend=backend, ordered=False)
+        for worker in workers:
+            worker.join(timeout=10.0)
+        assert _csv_bytes(store, tmp_path / "sq.csv") == reference_bytes
+
+    def test_explicit_backend_instances_byte_identical(self, reference_bytes, tmp_path):
+        for backend in (SerialBackend(), MultiprocessingBackend(2), FuturesBackend(2)):
+            store = run_sweep(_grid(), backend=backend)
+            assert _csv_bytes(store, tmp_path / f"{backend.name}.csv") == reference_bytes
+
+    @given(rates=st.lists(st.integers(1, 4).map(float), min_size=1, max_size=3, unique=True))
+    @settings(max_examples=3, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_property_serial_equals_workstealing_futures(self, rates, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("prop")
+        serial = run_sweep(_grid(rates), backend="serial")
+        stolen = run_sweep(_grid(rates), backend="futures", processes=2, ordered=False)
+        assert _csv_bytes(serial, tmp / "a.csv") == _csv_bytes(stolen, tmp / "b.csv")
+
+
+# ----------------------------------------------------------------------
+# Tentpole: checkpoint/resume
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointResume:
+    def test_completed_points_skip_on_resume(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = run_sweep(_grid(), checkpoint=str(journal))
+        recorder = _RecordingSerial()
+        second = run_sweep(_grid(), backend=recorder, checkpoint=str(journal))
+        assert recorder.ran == []  # nothing re-executed
+        assert second.rows == first.rows
+
+    def test_kill_resume_csv_byte_identical(self, tmp_path):
+        grid = _grid(rates=(1.0, 2.0, 3.0, 4.0))
+        reference = _csv_bytes(run_sweep(grid), tmp_path / "ref.csv")
+
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(grid, checkpoint=str(journal))
+        # Simulate a kill after point 1: two intact lines plus a torn third.
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+
+        recorder = _RecordingSerial()
+        resumed = run_sweep(grid, backend=recorder, checkpoint=str(journal))
+        assert sorted(recorder.ran) == [2, 3]  # the torn and missing points only
+        assert _csv_bytes(resumed, tmp_path / "resumed.csv") == reference
+
+    def test_stale_seed_entries_rerun(self, tmp_path):
+        grid = _grid(rates=(1.0,))
+        journal = tmp_path / "sweep.jsonl"
+        with SweepJournal(journal) as stale:
+            stale.record(grid[0].scenario_id, grid[0].seed + 1, [{"rps": 999.0}])
+        recorder = _RecordingSerial()
+        store = run_sweep(grid, backend=recorder, checkpoint=str(journal))
+        assert recorder.ran == [0]  # seed mismatch -> not resumed from the journal
+        assert store.rows[0]["rps"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Satellite bugfix: failures name the point and never discard finished work
+# ----------------------------------------------------------------------
+
+
+class TestSweepPointError:
+    def test_serial_failure_names_point_and_chains_cause(self):
+        grid = [_broken(s) for s in _grid(rates=(1.0,))]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(grid)
+        error = excinfo.value
+        assert error.scenario_id == grid[0].scenario_id
+        assert error.seed == grid[0].seed
+        assert error.error_type == "KeyError"
+        assert "no_such" in str(error)
+        assert isinstance(error.__cause__, KeyError)  # serial keeps the live chain
+
+    def test_pool_failure_carries_worker_traceback(self):
+        grid = [_broken(s) for s in _grid(rates=(1.0, 2.0))]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(grid, backend="multiprocessing", processes=2)
+        assert "KeyError" in (excinfo.value.traceback_text or "")
+
+    def test_completed_rows_are_journaled_before_the_raise(self, tmp_path):
+        grid = _grid(rates=(1.0, 2.0))
+        broken = [grid[0], _broken(grid[1])]
+        journal = tmp_path / "sweep.jsonl"
+        with pytest.raises(SweepPointError):
+            run_sweep(broken, checkpoint=str(journal))
+        entries = SweepJournal(journal).load()
+        assert (grid[0].scenario_id, grid[0].seed) in entries  # finished work survived
+
+        # Fixing the bad point and re-running resumes: only it re-executes.
+        recorder = _RecordingSerial()
+        store = run_sweep(grid, backend=recorder, checkpoint=str(journal))
+        assert recorder.ran == [1]
+        assert len(store) == 2
+
+
+# ----------------------------------------------------------------------
+# Backend resolution (incl. the legacy processes= mapping)
+# ----------------------------------------------------------------------
+
+
+class TestBackendResolution:
+    def test_legacy_default_mapping(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend(None, processes=1, grid_size=8), SerialBackend)
+        assert isinstance(resolve_backend(None, processes=4, grid_size=1), SerialBackend)
+        pool = resolve_backend(None, processes=4, grid_size=8)
+        assert isinstance(pool, MultiprocessingBackend)
+        assert pool.processes == 4
+        import multiprocessing
+
+        every_core = resolve_backend(None, processes=-1, grid_size=8)
+        if multiprocessing.cpu_count() > 1:
+            assert isinstance(every_core, MultiprocessingBackend)
+            assert every_core.processes == multiprocessing.cpu_count()
+        else:
+            assert isinstance(every_core, SerialBackend)  # one core -> no pool
+
+    def test_backend_names_resolve(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("multiprocessing", processes=3), MultiprocessingBackend)
+        futures = resolve_backend("futures", processes=3)
+        assert isinstance(futures, FuturesBackend)
+        assert futures.processes == 3
+
+    def test_socket_queue_specs(self):
+        default = resolve_backend("socket-queue")
+        try:
+            assert isinstance(default, SocketQueueBackend)
+            assert default.address[0] == "127.0.0.1"
+            assert default.address[1] > 0  # ephemeral port was bound
+        finally:
+            default.close()
+        bound = resolve_backend("socket-queue:127.0.0.1:0")
+        try:
+            assert bound.address[0] == "127.0.0.1"
+        finally:
+            bound.close()
+
+    def test_backend_instances_pass_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_and_malformed_specs_raise(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            resolve_backend("nope")
+        with pytest.raises(ValueError, match="socket-queue port"):
+            resolve_backend("socket-queue:not-a-port")
+        for name in BACKEND_NAMES:
+            if name != "socket-queue":
+                assert resolve_backend(name).name == name
+
+
+# ----------------------------------------------------------------------
+# The checkpoint journal itself
+# ----------------------------------------------------------------------
+
+
+class TestSweepJournal:
+    def test_rows_round_trip_exactly(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        rows = [{"x": 1, "y": 0.1, "s": "text", "b": True, "none": None, "nan": float("nan")}]
+        journal.record("id", 7, rows)
+        journal.close()
+        loaded = journal.load()[("id", 7)]
+        assert loaded[0]["x"] == 1 and isinstance(loaded[0]["x"], int)
+        assert loaded[0]["y"] == 0.1
+        assert loaded[0]["s"] == "text" and loaded[0]["b"] is True
+        assert loaded[0]["none"] is None
+        assert math.isnan(loaded[0]["nan"])
+
+    def test_numpy_scalars_become_python_scalars(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record("id", 1, [{"n": np.int64(3), "f": np.float64(0.25)}])
+        journal.close()
+        row = journal.load()[("id", 1)][0]
+        assert row["n"] == 3 and isinstance(row["n"], int)
+        assert row["f"] == 0.25 and isinstance(row["f"], float)
+
+    def test_unserializable_rows_fail_loudly(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        with pytest.raises(TypeError, match="scalars"):
+            journal.record("id", 1, [{"bad": object()}])
+        journal.close()
+
+    def test_load_skips_torn_and_garbage_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("a", 1, [{"x": 1}])
+        journal.record("b", 2, [{"x": 2}])
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write('["wrong", "shape"]\n')
+            handle.write('{"scenario_id": "c", "seed": "not-int", "rows": []}\n')
+            handle.write('{"scenario_id": "d", "seed": 4, "rows"')  # torn by a kill
+        assert set(journal.load()) == {("a", 1), ("b", 2)}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / "absent.jsonl").load() == {}
+
+
+# ----------------------------------------------------------------------
+# Socket-queue fault tolerance
+# ----------------------------------------------------------------------
+
+
+class TestSocketQueueFaultTolerance:
+    def test_dead_worker_item_is_requeued(self, tmp_path):
+        import socket as socket_module
+
+        from repro.sim.backends import _recv, _send
+
+        backend = SocketQueueBackend(port=0, timeout_s=60.0)
+        host, port = backend.address
+
+        def flaky_then_healthy():
+            # A worker that takes one item and dies mid-point...
+            connection = socket_module.create_connection((host, port))
+            _send(connection, ("hello", "flaky", 0))
+            assert _recv(connection)[0] == "item"
+            connection.close()  # hang up without replying
+            # ...then a healthy worker that drains the (re-queued) work.
+            run_sweep_worker(host, port)
+
+        worker = threading.Thread(target=flaky_then_healthy, daemon=True)
+        worker.start()
+        store = run_sweep(_grid(), backend=backend, ordered=False)
+        worker.join(timeout=10.0)
+        reference = run_sweep(_grid())
+        assert store.rows == reference.rows  # the sweep outlived the dead worker
+
+    def test_announce_reports_the_listening_address(self):
+        messages = []
+        backend = resolve_backend("socket-queue:127.0.0.1:0", announce=messages.append)
+        host, port = backend.address
+        worker = threading.Thread(target=run_sweep_worker, args=(host, port), daemon=True)
+        worker.start()  # connects (with retries) once the server starts serving
+        store = run_sweep(_grid(rates=(1.0,)), backend=backend)
+        worker.join(timeout=10.0)
+        assert messages and f"--connect <host>:{port}" in messages[0]
+        assert len(store) == 1
+
+    def test_duplicate_outcomes_are_deduplicated(self):
+        class Duplicating(SerialBackend):
+            def run(self, items, ordered=True):
+                for item in items:
+                    outcome = execute_point(item)
+                    yield outcome
+                    yield outcome  # a re-queued item whose first result also landed
+
+        store = run_sweep(_grid(rates=(1.0,)), backend=Duplicating())
+        assert len(store) == 1
+
+    def test_idle_timeout_without_workers(self):
+        backend = SocketQueueBackend(port=0, timeout_s=0.3)
+        with pytest.raises(RuntimeError, match="sweep workers connected"):
+            run_sweep(_grid(rates=(1.0,)), backend=backend)
+
+    def test_backend_is_single_use(self):
+        backend = SocketQueueBackend(port=0, timeout_s=0.3)
+        with pytest.raises(RuntimeError):
+            run_sweep(_grid(rates=(1.0,)), backend=backend)
+        with pytest.raises(RuntimeError, match="single-use"):
+            list(backend.run([(0, _grid(rates=(1.0,))[0])]))
+
+
+# ----------------------------------------------------------------------
+# Satellite: CLI parity (--unordered/--backend/--checkpoint everywhere)
+# ----------------------------------------------------------------------
+
+_CLI_SWEEP = [
+    "sweep",
+    "--platforms",
+    "aws_lambda_like",
+    "--workloads",
+    "minimal",
+    "--rps",
+    "1,2",
+    "--duration-s",
+    "5",
+]
+
+
+class TestCliParity:
+    @pytest.mark.parametrize("command", ["sweep", "cluster", "backpressure"])
+    def test_every_sweeping_subcommand_has_the_execution_flags(self, command):
+        args = build_parser().parse_args(
+            [command, "--processes", "2", "--unordered", "--backend", "serial", "--checkpoint", "x"]
+        )
+        assert args.processes == 2
+        assert args.unordered is True
+        assert args.backend == "serial"
+        assert args.checkpoint == "x"
+
+    def test_cli_backends_write_byte_identical_csvs(self, tmp_path):
+        serial = tmp_path / "serial.csv"
+        futures = tmp_path / "futures.csv"
+        assert main(_CLI_SWEEP + ["--output", str(serial)]) == 0
+        assert (
+            main(
+                _CLI_SWEEP
+                + ["--backend", "futures", "--processes", "2", "--unordered", "--output", str(futures)]
+            )
+            == 0
+        )
+        assert serial.read_bytes() == futures.read_bytes()
+
+    def test_cli_checkpoint_resume(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        first = tmp_path / "first.csv"
+        second = tmp_path / "second.csv"
+        assert main(_CLI_SWEEP + ["--checkpoint", str(journal), "--output", str(first)]) == 0
+        assert main(_CLI_SWEEP + ["--checkpoint", str(journal), "--output", str(second)]) == 0
+        assert "skipping 2 already-journaled points, running 0" in capsys.readouterr().err
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_cli_failure_names_the_point(self, capsys):
+        assert main(["sweep", "--platforms", "no_such", "--workloads", "minimal", "--rps", "1"]) == 2
+        stderr = capsys.readouterr().err
+        assert "platform=no_such" in stderr  # the failing point, not a bare traceback
+
+    def test_sweep_worker_rejects_bad_addresses(self, capsys):
+        assert main(["sweep-worker", "--connect", "nope"]) == 2
+        assert "invalid --connect" in capsys.readouterr().err
+        assert main(["sweep-worker", "--connect", "127.0.0.1:1", "--retry-window-s", "0"]) == 2
+        assert "could not reach" in capsys.readouterr().err
+
+    def test_sweep_worker_serves_a_socket_queue_sweep(self, tmp_path, capsys):
+        backend = SocketQueueBackend(port=0, timeout_s=60.0)
+        host, port = backend.address
+        outcome = {}
+
+        def server():
+            outcome["store"] = run_sweep(_grid(), backend=backend, ordered=False)
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        assert main(["sweep-worker", "--connect", f"{host}:{port}", "--quiet"]) == 0
+        thread.join(timeout=30.0)
+        assert "sweep worker done: completed 2 points" in capsys.readouterr().out
+        assert outcome["store"].rows == run_sweep(_grid()).rows
+
+    def test_backpressure_cli_accepts_backend_and_checkpoint(self, tmp_path, capsys):
+        journal = tmp_path / "bp.jsonl"
+        args = [
+            "backpressure",
+            "--queue-depths",
+            "0",
+            "--policies",
+            "best_fit",
+            "--heterogeneity",
+            "homogeneous",
+            "--duration-s",
+            "5",
+            "--num-functions",
+            "2",
+            "--backend",
+            "serial",
+            "--checkpoint",
+            str(journal),
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert "skipping 1 already-journaled points, running 0" in capsys.readouterr().err
