@@ -150,6 +150,13 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     columns.  When the ``retry`` param is absent entirely the row is
     byte-identical to the pre-retry output.
 
+    ``tenants`` (``off`` | an integer count, resolved through
+    :func:`repro.tenancy.model.resolve_tenants` with the ``tenant_*``
+    knobs) adds credit-metered multi-tenant admission over the same closed
+    loop: rows gain the ``credit_denied_requests`` / ``jain_fairness`` /
+    per-tenant columns, and when the param is absent entirely rows stay
+    byte-identical to the pre-tenancy output.
+
     ``trace_out`` / ``telemetry_out`` / ``profile_out`` (file paths) attach
     the observability layer for this point and write its artifacts after the
     run: a Chrome-trace JSON (``.jsonl`` for raw span lines), the sampled
@@ -185,6 +192,9 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     with_scheduler = bool(params.get("with_scheduler", True))
     feedback = str(params.get("feedback", "off"))
     retry_mode, retry_policy = resolve_retry(params)
+    from repro.tenancy import resolve_tenants
+
+    tenants_mode, tenant_configs = resolve_tenants(params)
     obs = _resolve_obs(params)
 
     # Rescale the preset's keep-alive window so its max hits ``keep_alive_s``
@@ -236,6 +246,7 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
         feedback=feedback,
         retry=retry_policy,
         obs=obs,
+        tenants=tenant_configs,
     )
     result = simulator.run()
     if obs is not None:
@@ -255,6 +266,8 @@ def backpressure_point(params: Mapping[str, object], seed: int) -> Dict[str, obj
     }
     if retry_mode is not None:
         row["retry"] = retry_mode
+    if tenants_mode is not None:
+        row["tenants"] = tenants_mode
     summary = result.summary()
     summary.pop("policy", None)
     row.update(summary)

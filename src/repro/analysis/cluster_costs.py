@@ -53,6 +53,15 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     retry columns, and when the param is absent entirely rows stay
     byte-identical to the pre-retry output).
 
+    Tenancy params (:func:`repro.tenancy.model.resolve_tenants`):
+    ``tenants`` (``off`` | an integer tenant count) plus the
+    ``tenant_credit_capacity`` / ``tenant_credit_refill_per_s`` /
+    ``tenant_request_cost`` / ``tenant_on_exhausted`` /
+    ``tenant_max_queued`` / ``tenant_slo_latency_s`` knobs.  An integer
+    turns on credit-metered admission (deployments assigned round-robin)
+    and adds the per-tenant fairness/SLO columns; when the param is absent
+    entirely rows stay byte-identical to the pre-tenancy output.
+
     Observability params (all optional, all passive): ``trace_out``
     (request-span export path; ``.jsonl`` for span lines, anything else for
     Chrome ``trace_event`` JSON), ``telemetry_out`` (sampled time-series
@@ -121,7 +130,9 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     feedback = str(params.get("feedback", "off"))
     retry_mode, retry_policy = resolve_retry(params)
     from repro.obs import obs_from_params, write_obs_artifacts
+    from repro.tenancy import resolve_tenants
 
+    tenants_mode, tenant_configs = resolve_tenants(params)
     obs = obs_from_params(params)
     simulator = ClusterSimulator(
         deployments,
@@ -135,6 +146,7 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
         feedback=feedback,
         retry=retry_policy,
         obs=obs,
+        tenants=tenant_configs,
     )
     result = simulator.run()
     write_obs_artifacts(obs, params)
@@ -149,6 +161,8 @@ def cluster_point(params: Mapping[str, object], seed: int) -> Dict[str, object]:
     }
     if retry_mode is not None:
         row["retry"] = retry_mode
+    if tenants_mode is not None:
+        row["tenants"] = tenants_mode
     summary = result.summary()
     summary.pop("num_functions", None)
     summary.pop("policy", None)

@@ -162,6 +162,11 @@ class CostMeter:
         #: attempts never executed, so nothing was metered for them); without
         #: retries everything lands under attempt 1.
         self.cost_usd_by_attempt: Dict[int, float] = {}
+        #: Running request-billed invoice per tenant (the multi-tenancy
+        #: layer's invoice breakdown).  Outcomes without a tenant tag bill
+        #: only into the global totals, so the dict stays empty -- and costs
+        #: nothing -- outside tenant-tagged co-simulations.
+        self.cost_usd_by_tenant: Dict[str, float] = {}
         # Request-level accumulators.
         self.num_requests = 0
         self.num_cold_starts = 0
@@ -266,6 +271,7 @@ class CostMeter:
         kind_memory = ResourceKind.MEMORY
         by_attempt = self.cost_usd_by_attempt
         by_class = self.cost_usd_by_class
+        by_tenant = self.cost_usd_by_tenant
 
         def on_completed(event: RequestCompleted) -> None:
             outcome = event.outcome
@@ -308,6 +314,9 @@ class CostMeter:
             by_class[bucket] = by_class.get(bucket, 0.0) + total
             self.cost_usd += total
             by_attempt[attempts] = by_attempt.get(attempts, 0.0) + total
+            tenant = getattr(outcome, "tenant", "")
+            if tenant:
+                by_tenant[tenant] = by_tenant.get(tenant, 0.0) + total
             self.billable_cpu_seconds += billable_cpu
             self.billable_memory_gb_seconds += billable_memory
             self.actual_cpu_seconds += used_cpu_seconds
@@ -397,6 +406,7 @@ class CostMeter:
         cold_start: bool = False,
         price_class: Optional[str] = None,
         attempts: int = 1,
+        tenant: str = "",
     ) -> BilledInvocation:
         """Bill one invocation (at its zone's price class) into the running totals."""
         calculator = self._calculator_for(price_class)
@@ -408,6 +418,10 @@ class CostMeter:
         self.cost_usd_by_attempt[attempts] = (
             self.cost_usd_by_attempt.get(attempts, 0.0) + billed.invoice.total
         )
+        if tenant:
+            self.cost_usd_by_tenant[tenant] = (
+                self.cost_usd_by_tenant.get(tenant, 0.0) + billed.invoice.total
+            )
         self.billable_cpu_seconds += billed.billable_cpu_seconds
         self.billable_memory_gb_seconds += billed.billable_memory_gb_seconds
         self.actual_cpu_seconds += billed.actual_cpu_seconds
@@ -435,9 +449,11 @@ class CostMeter:
             return
         price_class = self._resolve_price_class(str(getattr(outcome, "sandbox_name", "")))
         attempts = int(getattr(outcome, "attempts", 1))
+        tenant = str(getattr(outcome, "tenant", ""))
         if is_record:
             self.meter_request(
-                InvocationBillingInput.from_request(outcome), cold, price_class, attempts
+                InvocationBillingInput.from_request(outcome), cold, price_class, attempts,
+                tenant,
             )
             return
         if resources is None:
@@ -457,6 +473,7 @@ class CostMeter:
             cold,
             price_class,
             attempts,
+            tenant,
         )
 
     # ------------------------------------------------------------------

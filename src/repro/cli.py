@@ -16,13 +16,15 @@ Usage::
     repro-serverless-costs backpressure --queue-depths 0,8 --policies best_fit,cost_fit --output bp.csv
     repro-serverless-costs backpressure --feedback on --unordered --processes 4 --output bp_fb.csv
     repro-serverless-costs backpressure --feedback on --retry off,on --output bp_retry.csv
+    repro-serverless-costs cluster --tenants 2 --tenant-on-exhausted deny --output tenants.csv
+    repro-serverless-costs sweep --checkpoint sweep.jsonl --compact-checkpoint
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro._version import __version__
 from repro.analysis.experiments import EXPERIMENTS, list_experiments, run_experiment
@@ -66,6 +68,100 @@ def _add_sweep_execution_flags(parser: argparse.ArgumentParser) -> None:
             "and re-running with the same journal skips them (kill/resume-safe sweeps)"
         ),
     )
+    parser.add_argument(
+        "--compact-checkpoint",
+        action="store_true",
+        help=(
+            "Before sweeping, rewrite the --checkpoint journal keeping only the last "
+            "record per grid point (drops duplicate entries from repeated resumes and "
+            "torn lines from kills; atomic replace)"
+        ),
+    )
+
+
+def _compact_checkpoint_if_requested(args: "argparse.Namespace") -> Optional[int]:
+    """Handle --compact-checkpoint; an exit code on misuse, else None."""
+    if not getattr(args, "compact_checkpoint", False):
+        return None
+    if not args.checkpoint:
+        print("--compact-checkpoint requires --checkpoint", file=sys.stderr)
+        return 2
+    from repro.sim.checkpoint import SweepJournal
+
+    stats = SweepJournal(args.checkpoint).compact()
+    print(
+        f"compacted checkpoint {args.checkpoint}: kept {stats['kept']} entries, "
+        f"dropped {stats['dropped_duplicates']} duplicates and "
+        f"{stats['dropped_garbage']} garbage lines"
+    )
+    return None
+
+
+def _add_tenancy_flags(parser: argparse.ArgumentParser) -> None:
+    """Multi-tenancy flags shared by the cluster and backpressure subcommands."""
+    parser.add_argument(
+        "--tenants",
+        default="off",
+        help=(
+            "Comma-separated tenancy modes (off, or an integer tenant count N): an "
+            "integer meters every deployment's admission against N per-tenant credit "
+            "accounts (round-robin assignment) and adds the per-tenant SLO/fairness "
+            "columns; default: off, the pre-tenancy behaviour"
+        ),
+    )
+    parser.add_argument(
+        "--tenant-credit-capacity",
+        type=float,
+        default=50.0,
+        help="Credit capacity of each tenant's token bucket (with --tenants N)",
+    )
+    parser.add_argument(
+        "--tenant-credit-refill-per-s",
+        type=float,
+        default=2.0,
+        help="Credit refill rate per simulated second (with --tenants N)",
+    )
+    parser.add_argument(
+        "--tenant-on-exhausted",
+        choices=("deny", "queue"),
+        default="deny",
+        help=(
+            "What happens to arrivals of a credit-exhausted tenant: deny fails them "
+            "with a typed RequestDenied, queue parks them until the bucket refills"
+        ),
+    )
+    parser.add_argument(
+        "--tenant-slo-latency-s",
+        type=float,
+        default=None,
+        help=(
+            "Per-tenant client-perceived latency SLO in seconds (drives the "
+            "slo_attainment/goodput columns; default: no target)"
+        ),
+    )
+
+
+def _tenancy_common(args: "argparse.Namespace") -> Dict[str, object]:
+    """The tenant_* params an active --tenants axis forwards to every point."""
+    common: Dict[str, object] = {
+        "tenant_credit_capacity": args.tenant_credit_capacity,
+        "tenant_credit_refill_per_s": args.tenant_credit_refill_per_s,
+        "tenant_on_exhausted": args.tenant_on_exhausted,
+    }
+    if args.tenant_slo_latency_s is not None:
+        common["tenant_slo_latency_s"] = args.tenant_slo_latency_s
+    return common
+
+
+def _parse_tenants_axis(text: str) -> List[object]:
+    """Parse a --tenants list into sweep-axis values ('off' or integer counts)."""
+    values: List[object] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        values.append(item if item == "off" else int(item))
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
             "default: off, failures stay terminal)"
         ),
     )
+    _add_tenancy_flags(cluster_parser)
     _add_sweep_execution_flags(cluster_parser)
     cluster_parser.add_argument("--seed", type=int, default=2026, help="Base seed for per-run seeds")
     cluster_parser.add_argument("--output", help="Also write the result rows to this CSV path")
@@ -340,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the retry_amplification column compares the twin rows"
         ),
     )
+    _add_tenancy_flags(backpressure_parser)
     _add_sweep_execution_flags(backpressure_parser)
     backpressure_parser.add_argument(
         "--seed", type=int, default=2026, help="Base seed for per-run seeds"
@@ -537,6 +635,9 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
     if not platforms or not workloads or not rates:
         print("sweep needs at least one platform, workload, and rps value", file=sys.stderr)
         return 2
+    code = _compact_checkpoint_if_requested(args)
+    if code is not None:
+        return code
     try:
         scenarios = build_grid(
             runner="repro.sim.sweep:platform_point",
@@ -582,6 +683,14 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
     if not fleet_sizes or not policies or not keep_alive:
         print("cluster needs at least one fleet size, policy, and keep-alive value", file=sys.stderr)
         return 2
+    try:
+        tenants = _parse_tenants_axis(args.tenants)
+    except ValueError:
+        print(f"invalid --tenants list: {args.tenants!r}", file=sys.stderr)
+        return 2
+    code = _compact_checkpoint_if_requested(args)
+    if code is not None:
+        return code
     common = {
         "platform": args.platform,
         "billing": args.billing,
@@ -595,14 +704,20 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
         # Only forward an active retry mode: without the param the rows (and
         # therefore default CSVs) stay byte-identical to the pre-retry CLI.
         common["retry"] = args.retry
+    axes = {
+        "num_functions": fleet_sizes,
+        "placement_policy": policies,
+        "keep_alive_s": keep_alive,
+    }
+    if tenants and tenants != ["off"]:
+        # Same gating contract as retry: the axis (and the tenant knobs) only
+        # exist when tenancy is requested, so default CSVs stay byte-identical.
+        axes["tenants"] = tenants
+        common.update(_tenancy_common(args))
     _warn_inert_retry(args.feedback, args.retry == "on")
     try:
         store = cluster_cost_sweep(
-            axes={
-                "num_functions": fleet_sizes,
-                "placement_policy": policies,
-                "keep_alive_s": keep_alive,
-            },
+            axes=axes,
             common=common,
             base_seed=args.seed,
             processes=args.processes,
@@ -643,6 +758,14 @@ def _cmd_backpressure(args: "argparse.Namespace") -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        tenants = _parse_tenants_axis(args.tenants)
+    except ValueError:
+        print(f"invalid --tenants list: {args.tenants!r}", file=sys.stderr)
+        return 2
+    code = _compact_checkpoint_if_requested(args)
+    if code is not None:
+        return code
     axes = {
         "queue_depth": queue_depths,
         "placement_policy": policies,
@@ -652,21 +775,27 @@ def _cmd_backpressure(args: "argparse.Namespace") -> int:
         # An active retry mode (or a multi-value list) becomes a sweep axis;
         # the bare default keeps rows byte-identical to the pre-retry CLI.
         axes["retry"] = retries
+    common: Dict[str, object] = {
+        "queue_discipline": args.queue_discipline,
+        "max_hosts": args.max_hosts,
+        "num_functions": args.num_functions,
+        "platform": args.platform,
+        "billing": args.billing,
+        "rps_per_function": args.rps,
+        "duration_s": args.duration_s,
+        "with_scheduler": not args.no_scheduler,
+        "feedback": args.feedback,
+    }
+    if tenants and tenants != ["off"]:
+        # Same gating contract as retry: the axis (and the tenant knobs) only
+        # exist when tenancy is requested, so default CSVs stay byte-identical.
+        axes["tenants"] = tenants
+        common.update(_tenancy_common(args))
     _warn_inert_retry(args.feedback, "on" in retries)
     try:
         store = backpressure_sweep(
             axes=axes,
-            common={
-                "queue_discipline": args.queue_discipline,
-                "max_hosts": args.max_hosts,
-                "num_functions": args.num_functions,
-                "platform": args.platform,
-                "billing": args.billing,
-                "rps_per_function": args.rps,
-                "duration_s": args.duration_s,
-                "with_scheduler": not args.no_scheduler,
-                "feedback": args.feedback,
-            },
+            common=common,
             base_seed=args.seed,
             processes=args.processes,
             ordered=not args.unordered,

@@ -46,6 +46,7 @@ from repro.sim.feedback import FeedbackChannel
 from repro.sim.kernel import SimulationKernel
 from repro.sim.retry import RetryLoop, RetryPolicy
 from repro.sim.rng import derive_seed
+from repro.tenancy import AdmissionController, TenancyReport, TenantConfig, TenantReport
 
 __all__ = ["FunctionDeployment", "ClusterResult", "ClusterSimulator"]
 
@@ -61,6 +62,10 @@ class FunctionDeployment:
     rps: float = 1.0
     duration_s: float = 60.0
     arrival_process: str = "constant"  # "constant" | "poisson"
+    #: Which tenant owns this deployment (multi-tenant runs only).  Empty =
+    #: assign round-robin over the configured tenants; ignored entirely --
+    #: and must stay empty -- when the simulator runs without tenants.
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.rps <= 0 or self.duration_s < 0:
@@ -87,6 +92,9 @@ class ClusterResult:
     #: Deliberately not part of summary(): rows stay byte-identical with obs
     #: on or off, which is the layer's core guarantee.
     obs: Optional[Observability] = None
+    #: Per-tenant fairness/SLO report (None without tenants, keeping
+    #: tenant-less summary rows byte-identical to the pre-tenancy output).
+    tenancy: Optional[TenancyReport] = None
 
     def summary(self) -> Dict[str, float]:
         """One flat row combining request-, fleet-, cost- and scheduler-level outcomes."""
@@ -158,6 +166,10 @@ class ClusterResult:
                 "idle_instance_seconds",
             ):
                 row[key] = totals[key]
+        if self.tenancy is not None:
+            # Tenancy columns exist only on multi-tenant runs; tenants=None
+            # rows -- and their CSVs -- stay byte-identical.
+            row.update(self.tenancy.summary_columns())
         if self.scheduler is not None:
             finished = [t for t in self.scheduler.tasks.values() if t.finished]
             row["sched_tasks"] = float(len(self.scheduler.tasks))
@@ -216,6 +228,19 @@ class ClusterSimulator:
     on the kernel grid, and an opt-in kernel profiler.  Observers only read,
     so a run with ``obs`` attached produces byte-identical results to the
     same seed without it; ``obs=None`` (the default) does not even subscribe.
+
+    ``tenants`` (a sequence of :class:`~repro.tenancy.model.TenantConfig`)
+    turns on the multi-tenant admission layer: an
+    :class:`~repro.tenancy.admission.AdmissionController` on the shared
+    kernel meters every deployment's arrivals against its tenant's credit
+    account *before* routing (denying or credit-queueing exhausted tenants),
+    per-simulator SLO targets come from the owning tenant's config, and the
+    run result carries a :class:`~repro.tenancy.metrics.TenancyReport` with
+    per-tenant SLO attainment, goodput, invoice share and Jain's fairness
+    index (surfaced as extra summary columns).  Deployments are assigned to
+    tenants by their explicit ``tenant`` tag, or round-robin over the tenant
+    list when untagged.  ``tenants=None`` (the default) byte-reproduces the
+    pre-tenancy outputs.
     """
 
     def __init__(
@@ -230,6 +255,7 @@ class ClusterSimulator:
         retry: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
         retain_outcomes: bool = True,
+        tenants: Optional[Sequence[TenantConfig]] = None,
     ) -> None:
         if not deployments:
             raise ValueError("a cluster simulation needs at least one deployment")
@@ -238,6 +264,12 @@ class ClusterSimulator:
             raise ValueError(f"deployment function names must be unique, got {names}")
         if feedback not in ("off", "on"):
             raise ValueError(f"feedback must be 'off' or 'on', got {feedback!r}")
+        if tenants is None:
+            tagged = [d.function.name for d in deployments if d.tenant]
+            if tagged:
+                raise ValueError(
+                    f"deployments {tagged} carry tenant tags but no tenants were configured"
+                )
         self.deployments = list(deployments)
         self.seed = seed
         self._ran = False
@@ -286,9 +318,16 @@ class ClusterSimulator:
         self.scheduler = scheduler
         if scheduler is not None:
             scheduler.attach(self.kernel, feedback=self.feedback)
+        #: The multi-tenant admission controller (None without tenants).
+        self.admission: Optional[AdmissionController] = None
+        self._tenant_of: Dict[str, str] = {}
+        if tenants is not None:
+            self.admission = AdmissionController(tenants).attach(self.kernel)
+            self._tenant_of = self._assign_tenants()
         self.simulators: Dict[str, PlatformSimulator] = {}
         for deployment in self.deployments:
             name = deployment.function.name
+            tenant = self._tenant_of.get(name, "")
             simulator = PlatformSimulator(
                 deployment.platform,
                 deployment.function,
@@ -305,6 +344,8 @@ class ClusterSimulator:
                 # keeping every incremental aggregate summary() reads -- the
                 # bounded-memory mode million-request benchmark runs use.
                 retain_outcomes=retain_outcomes,
+                tenant=tenant,
+                admission=self.admission,
             )
             if self.retry is not None:
                 self.retry.register(name, simulator)
@@ -312,9 +353,45 @@ class ClusterSimulator:
                 # Per-function attachment: the meter needs each deployment's
                 # allocation/usage context, which the shared bus does not carry.
                 self.meter.attach(simulator.bus, deployment.resources())
+            if self.admission is not None:
+                self.admission.register(name, tenant, simulator)
+                # SLO attainment is judged in the metrics layer at record
+                # time, against the owning tenant's latency target.
+                simulator.metrics.slo_latency_s = self.admission.config(tenant).slo_latency_s
             self.simulators[name] = simulator
+        if self.admission is not None and self.feedback is not None:
+            # Per-tenant backpressure signals: the feedback channel can then
+            # aggregate fleet admission-queue depth over each tenant's own
+            # sandbox namespaces.
+            self.feedback.set_tenant_prefixes(
+                {
+                    tenant: tuple(
+                        f"{owner}/" for owner, t in self._tenant_of.items() if t == tenant
+                    )
+                    for tenant in self.admission.tenant_names
+                }
+            )
         if obs is not None:
             self._register_gauges(obs)
+
+    def _assign_tenants(self) -> Dict[str, str]:
+        """Map each deployment to its tenant: explicit tags win, the rest round-robin."""
+        assert self.admission is not None
+        tenant_names = self.admission.tenant_names
+        assignment: Dict[str, str] = {}
+        cursor = 0
+        for deployment in self.deployments:
+            if deployment.tenant:
+                if deployment.tenant not in tenant_names:
+                    raise ValueError(
+                        f"deployment {deployment.function.name!r} is tagged with unknown "
+                        f"tenant {deployment.tenant!r} (have {tenant_names})"
+                    )
+                assignment[deployment.function.name] = deployment.tenant
+            else:
+                assignment[deployment.function.name] = tenant_names[cursor % len(tenant_names)]
+                cursor += 1
+        return assignment
 
     def _register_gauges(self, obs: Observability) -> None:
         """Wire every layer's live state into the telemetry registry.
@@ -396,4 +473,50 @@ class ClusterSimulator:
             scheduler=self.scheduler.finalize() if self.scheduler is not None else None,
             retry=self.retry,
             obs=self.obs,
+            tenancy=self._build_tenancy_report() if self.admission is not None else None,
         )
+
+    def _build_tenancy_report(self) -> TenancyReport:
+        """Fold per-simulator metrics, controller counters and the invoice by tenant.
+
+        Called at the run horizon (pending counts are snapshotted, the meter
+        finalized), so each tenant's report closes the conservation law:
+        ``arrivals == completed + failed + denied + pending + in-flight``.
+        """
+        admission = self.admission
+        assert admission is not None
+        by_tenant_cost = self.meter.cost_usd_by_tenant if self.meter is not None else {}
+        reports = []
+        for tenant in admission.tenant_names:
+            config = admission.config(tenant)
+            owners = [owner for owner, t in self._tenant_of.items() if t == tenant]
+            arrivals = completed = failed = denied = pending = in_flight = attained = 0
+            for owner in owners:
+                simulator = self.simulators[owner]
+                m = simulator.metrics
+                arrivals += m.arrivals
+                completed += m.num_requests
+                failed += m.failed_requests
+                denied += m.denied_requests
+                pending += simulator.pending_request_count
+                in_flight += simulator.in_flight_request_count
+                # Without a latency target every completion attains trivially.
+                attained += m.slo_attained if config.slo_latency_s is not None else m.num_requests
+            reports.append(
+                TenantReport(
+                    name=tenant,
+                    functions=len(owners),
+                    arrivals=arrivals,
+                    completed=completed,
+                    failed=failed,
+                    denied=denied,
+                    pending=pending,
+                    in_flight=in_flight,
+                    slo_target_s=config.slo_latency_s,
+                    slo_attained=attained,
+                    billed_usd=by_tenant_cost.get(tenant, 0.0),
+                    credits_spent=admission.credits_spent[tenant],
+                    weight=config.weight,
+                )
+            )
+        return TenancyReport(tenants=reports)

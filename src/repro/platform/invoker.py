@@ -43,6 +43,7 @@ from repro.sim.events import (
     KeepAliveExpired,
     RequestArrived,
     RequestCompleted,
+    RequestDenied,
     RequestExecuting,
     RequestFailed,
     SandboxAdmitted,
@@ -55,8 +56,13 @@ from repro.sim.events import (
 from repro.sim.feedback import AdmissionState, FeedbackChannel
 from repro.sim.kernel import Event, SimulationKernel
 from repro.sim.retry import RetryLoop
+from repro.tenancy.admission import AdmissionDecision
 
 __all__ = ["PlatformSimulator", "RequestOutcome", "SimulationMetrics"]
+
+# Hoisted enum members: the arrival hot path compares these per request.
+_ADMIT = AdmissionDecision.ADMIT
+_DENY = AdmissionDecision.DENY
 
 _EPS = 1e-9
 _INF = float("inf")
@@ -96,6 +102,14 @@ class PlatformSimulator:
     exactly like an organic arrival.  Without a loop (the default) every
     failure is terminal and behaviour is byte-identical to the pre-retry
     simulator.
+
+    Pass an ``admission`` controller (plus the ``tenant`` this simulator's
+    deployment belongs to) to meter arrivals against the tenancy layer's
+    per-tenant credit accounts *before* routing: denied arrivals fail with a
+    typed :class:`~repro.sim.events.RequestDenied` (terminal, no capacity
+    burned), credit-queued arrivals park in the controller until refill and
+    re-enter routing via :meth:`resume_admission`.  Without a controller (the
+    default) arrivals take exactly the pre-tenancy path.
     """
 
     def __init__(
@@ -111,6 +125,8 @@ class PlatformSimulator:
         obs=None,
         emit_spans: bool = False,
         retain_outcomes: bool = True,
+        tenant: str = "",
+        admission=None,
     ) -> None:
         self.platform = platform
         self.function = function
@@ -134,10 +150,12 @@ class PlatformSimulator:
         #: spot (:meth:`_discard_sandbox`), so routing scans stay O(alive)
         #: and memory stays bounded over million-request runs.
         self._sandboxes: Dict[str, Sandbox] = {}
-        #: Ingress FIFO: (arrival time, request id, attempts, retry wait).
-        self._queue: Deque[Tuple[float, str, int, float]] = deque()
-        #: sandbox -> waiting (arrival time, request id, attempts, retry wait).
-        self._pending_cold: Dict[str, List[Tuple[float, str, int, float]]] = {}
+        #: Ingress FIFO: (arrival time, request id, attempts, retry wait,
+        #: first-attempt arrival time).
+        self._queue: Deque[Tuple[float, str, int, float, float]] = deque()
+        #: sandbox -> waiting (arrival time, request id, attempts, retry
+        #: wait, first-attempt arrival time).
+        self._pending_cold: Dict[str, List[Tuple[float, str, int, float, float]]] = {}
         self._completion_version: Dict[str, int] = {}
         #: sandbox -> fire time of its single pending keep-alive expiry check.
         self._keepalive_pending: Dict[str, float] = {}
@@ -149,6 +167,8 @@ class PlatformSimulator:
         # their metrics.
         self._feedback = feedback
         self._retry = retry
+        self._tenant = tenant
+        self._admission = admission
         # Span emission (RequestArrived / RequestExecuting markers) is gated:
         # without an observer these per-request publishes are pure overhead.
         # A co-simulation host sets emit_spans for its shared-bus collector;
@@ -237,8 +257,16 @@ class PlatformSimulator:
         under the feedback layer).  A co-simulation host snapshots this into
         the metrics when the shared run ends, so backpressure that outlives
         the horizon is reported instead of silently censored.
+
+        With the tenancy layer attached, requests parked in the tenant's
+        credit queue count too: they arrived but are neither executing,
+        completed, failed nor denied, so the conservation law needs them
+        here.
         """
-        return len(self._queue) + sum(len(waiting) for waiting in self._pending_cold.values())
+        pending = len(self._queue) + sum(len(waiting) for waiting in self._pending_cold.values())
+        if self._admission is not None:
+            pending += self._admission.queued_count(self.name)
+        return pending
 
     @property
     def in_flight_request_count(self) -> int:
@@ -289,9 +317,13 @@ class PlatformSimulator:
         # metadata, and chunk-boundary arrivals from a streamed source carry
         # the stream to refill.
         data = event.data
+        now = self._now
         if data:
             attempts = int(data.get("attempts", 1))
             retry_wait_s = float(data.get("retry_wait_s", 0.0))
+            # Retry re-injections carry the logical request's first-attempt
+            # arrival time; organic and chunk-boundary arrivals start here.
+            origin_s = float(data.get("origin_s", 0.0)) or now
             stream = data.get("stream")
             if stream is not None:
                 # Refill synchronously, inside this event: the next chunk is
@@ -302,22 +334,76 @@ class PlatformSimulator:
         else:
             attempts = 1
             retry_wait_s = 0.0
+            origin_s = now
         self.metrics.record_arrival(attempts)
         if self._emit_spans:
             self.bus.publish(
                 RequestArrived(
-                    self._now,
+                    now,
                     request_id,
                     function_name=self.function.name,
                     attempts=attempts,
                     retry_wait_s=retry_wait_s,
                     parent_id=str(data.get("parent_id", "")),
+                    tenant=self._tenant,
                 )
             )
-        self._route(request_id, self._now, attempts=attempts, retry_wait_s=retry_wait_s)
+        if self._admission is not None:
+            # Credit metering happens before any capacity is touched.  A
+            # denial is terminal (a throttling response, never retried); a
+            # queued arrival parks in the controller and re-enters through
+            # resume_admission() when the tenant's bucket refills.
+            decision = self._admission.admit(
+                self.name, now, (request_id, now, attempts, retry_wait_s, origin_s)
+            )
+            if decision is not _ADMIT:
+                if decision is _DENY:
+                    self._deny_request(request_id)
+                return
+        self._route(
+            request_id, now, attempts=attempts, retry_wait_s=retry_wait_s, origin_s=origin_s
+        )
+
+    def resume_admission(
+        self,
+        request_id: str,
+        arrival_s: float,
+        attempts: int,
+        retry_wait_s: float,
+        origin_s: float,
+    ) -> None:
+        """Route a credit-released request with its original arrival metadata.
+
+        Called by the :class:`~repro.tenancy.admission.AdmissionController`
+        from inside its credit-release kernel event.  ``arrival_s`` is the
+        arrival that was parked, so the credit wait is visible in the
+        request's latency (and SLO attainment) like any other queueing delay.
+        """
+        self._route(
+            request_id, arrival_s, attempts=attempts, retry_wait_s=retry_wait_s,
+            origin_s=origin_s,
+        )
+
+    def _deny_request(self, request_id: str) -> None:
+        """Record and publish a credit denial (terminal; nothing was routed)."""
+        self.metrics.record_denied()
+        self.bus.publish(
+            RequestDenied(
+                self._now,
+                request_id,
+                tenant=self._tenant,
+                function_name=self.function.name,
+                reason="credits",
+            )
+        )
 
     def inject_retry(
-        self, delay_s: float, attempts: int, retry_wait_s: float, parent_id: str = ""
+        self,
+        delay_s: float,
+        attempts: int,
+        retry_wait_s: float,
+        parent_id: str = "",
+        origin_s: float = 0.0,
     ) -> None:
         """Re-inject a failed request as a fresh arrival ``delay_s`` from now.
 
@@ -328,20 +414,33 @@ class PlatformSimulator:
         adds to -- the same backpressure that failed it.  ``parent_id`` (the
         failed attempt's request id) rides on the kernel event so the trace
         layer can link the retry chain; it does not affect simulation state.
+        ``origin_s`` (the first attempt's arrival time) rides along so
+        deadline-bounded retries and SLO attainment measure from the logical
+        request's birth.
         """
         self._kernel.schedule_in(
             delay_s,
             self._kind_arrival,
-            {"attempts": attempts, "retry_wait_s": retry_wait_s, "parent_id": parent_id},
+            {
+                "attempts": attempts,
+                "retry_wait_s": retry_wait_s,
+                "parent_id": parent_id,
+                "origin_s": origin_s,
+            },
         )
 
     def _route(
-        self, request_id: str, arrival_s: float, attempts: int = 1, retry_wait_s: float = 0.0
+        self,
+        request_id: str,
+        arrival_s: float,
+        attempts: int = 1,
+        retry_wait_s: float = 0.0,
+        origin_s: float = 0.0,
     ) -> None:
         sandbox = self._pick_sandbox()
         if sandbox is not None:
             self._admit(sandbox, request_id, arrival_s, cold=False,
-                        attempts=attempts, retry_wait_s=retry_wait_s)
+                        attempts=attempts, retry_wait_s=retry_wait_s, origin_s=origin_s)
             return
         if self.platform.concurrency.is_single or not self._alive_sandboxes():
             # Single-concurrency platforms provision a fresh sandbox per excess
@@ -355,16 +454,17 @@ class PlatformSimulator:
                 self._fail_request(
                     request_id, arrival_s, reason="admission_rejected",
                     sandbox_name=sandbox.name, attempts=attempts, retry_wait_s=retry_wait_s,
+                    origin_s=origin_s,
                 )
                 return
             self._pending_cold.setdefault(sandbox.name, []).append(
-                (arrival_s, request_id, attempts, retry_wait_s)
+                (arrival_s, request_id, attempts, retry_wait_s, origin_s)
             )
             return
         # Multi-concurrency: all instances are at their concurrency limit; the
         # request queues at the ingress until capacity frees or the autoscaler
         # adds instances.
-        self._queue.append((arrival_s, request_id, attempts, retry_wait_s))
+        self._queue.append((arrival_s, request_id, attempts, retry_wait_s, origin_s))
 
     def _pick_sandbox(self) -> Optional[Sandbox]:
         """Choose a ready sandbox with available concurrency (fewest active requests).
@@ -469,10 +569,10 @@ class PlatformSimulator:
         # handle it: tear the sandbox down, fail everything waiting on it.
         waiting = self._pending_cold.pop(name, [])
         self._abort_sandbox(sandbox)
-        for arrival_s, request_id, attempts, retry_wait_s in waiting:
+        for arrival_s, request_id, attempts, retry_wait_s, origin_s in waiting:
             self._fail_request(
                 request_id, arrival_s, reason="admission_rejected", sandbox_name=name,
-                attempts=attempts, retry_wait_s=retry_wait_s,
+                attempts=attempts, retry_wait_s=retry_wait_s, origin_s=origin_s,
             )
         self._publish_instance_count()
 
@@ -503,14 +603,27 @@ class PlatformSimulator:
         sandbox_name: str = "",
         attempts: int = 1,
         retry_wait_s: float = 0.0,
+        origin_s: float = 0.0,
     ) -> None:
         # The retry loop is a downstream bus subscriber, but the gave_up flag
         # must already be on the record metrics capture first -- so the
         # publisher asks the loop's policy.  Bus dispatch is synchronous, so
         # no budget can be spent between this query and the loop's handling
-        # of the very event it stamps.
-        gave_up = self._retry is not None and not self._retry.will_retry(self.name, attempts)
+        # of the very event it stamps.  Elapsed time since the logical
+        # request's first attempt feeds the policy's retry deadline; the
+        # publisher and the loop compute it from the same stamps, so they
+        # always agree.
         now = self._now
+        origin = origin_s or arrival_s
+        gave_up = self._retry is not None and not self._retry.will_retry(
+            self.name, attempts, now - origin
+        )
+        # Fleet-issued backpressure hint for the sandbox that rejected us; the
+        # retry loop stretches its backoff to honour it.  Zero when the fleet
+        # does not issue hints (the default) or no sandbox was involved.
+        retry_after = 0.0
+        if self._feedback is not None and sandbox_name:
+            retry_after = self._feedback.retry_after_s(sandbox_name)
         self.bus.publish(
             RequestFailed(
                 now,
@@ -523,6 +636,9 @@ class PlatformSimulator:
                     attempts=attempts,
                     retry_wait_s=retry_wait_s,
                     gave_up=gave_up,
+                    tenant=self._tenant,
+                    origin_s=origin,
+                    retry_after_s=retry_after,
                 ),
             )
         )
@@ -533,10 +649,10 @@ class PlatformSimulator:
             return
         sandbox.mark_ready(self._now)
         waiting = self._pending_cold.pop(sandbox.name, [])
-        for index, (arrival_s, request_id, attempts, retry_wait_s) in enumerate(waiting):
+        for index, (arrival_s, request_id, attempts, retry_wait_s, origin_s) in enumerate(waiting):
             # The request(s) that waited for this sandbox experienced the cold start.
             self._admit(sandbox, request_id, arrival_s, cold=True,
-                        attempts=attempts, retry_wait_s=retry_wait_s)
+                        attempts=attempts, retry_wait_s=retry_wait_s, origin_s=origin_s)
         self._drain_queue()
         self._maybe_schedule_keepalive(sandbox)
 
@@ -548,6 +664,7 @@ class PlatformSimulator:
         cold: bool,
         attempts: int = 1,
         retry_wait_s: float = 0.0,
+        origin_s: float = 0.0,
     ) -> None:
         now = self._now
         overhead = self.platform.serving.sample_overhead_s(self.function.alloc_vcpus, self._rng)
@@ -562,6 +679,8 @@ class PlatformSimulator:
             init_wait_s=(now - arrival_s) if cold else 0.0,
             attempts=attempts,
             retry_wait_s=retry_wait_s,
+            tenant=self._tenant,
+            origin_s=origin_s,
         )
         was_busy = sandbox.state is SandboxState.BUSY
         sandbox.admit(request, now)
@@ -641,6 +760,8 @@ class PlatformSimulator:
                         service_floor_s=self.function.service_time_s + request.overhead_s,
                         attempts=request.attempts,
                         retry_wait_s=request.retry_wait_s,
+                        tenant=request.tenant,
+                        origin_s=request.origin_s,
                     ),
                 )
             )
@@ -656,9 +777,9 @@ class PlatformSimulator:
             sandbox = self._pick_sandbox()
             if sandbox is None:
                 return
-            arrival_s, request_id, attempts, retry_wait_s = self._queue.popleft()
+            arrival_s, request_id, attempts, retry_wait_s, origin_s = self._queue.popleft()
             self._admit(sandbox, request_id, arrival_s, cold=False,
-                        attempts=attempts, retry_wait_s=retry_wait_s)
+                        attempts=attempts, retry_wait_s=retry_wait_s, origin_s=origin_s)
 
     # ------------------------------------------------------------------
     # Keep-alive and termination

@@ -65,10 +65,26 @@ class RequestOutcome:
     #: Cumulative client-side backoff the request waited across all earlier
     #: failed attempts before this (successful) one arrived.
     retry_wait_s: float = 0.0
+    #: Tenant that issued the request (empty without the tenancy layer).
+    tenant: str = ""
+    #: Arrival time of the *first* attempt of this logical request (equals
+    #: ``arrival_s`` for attempt-1 traffic; earlier for retries).  ``0.0`` on
+    #: records that predate the tenancy layer.
+    origin_s: float = 0.0
 
     @property
     def end_to_end_latency_s(self) -> float:
         return self.completion_s - self.arrival_s
+
+    @property
+    def client_latency_s(self) -> float:
+        """Latency the client perceived: completion minus first-attempt arrival.
+
+        Includes every failed attempt's wait and all client-side backoff --
+        the latency SLO attainment is judged against.  Falls back to the
+        per-attempt latency on records without an origin timestamp.
+        """
+        return self.completion_s - (self.origin_s or self.arrival_s)
 
     @property
     def turnaround_s(self) -> float:
@@ -100,6 +116,16 @@ class FailedRequest:
     #: Always ``False`` without a retry loop -- the pre-retry behaviour,
     #: where every failure was implicitly terminal.
     gave_up: bool = False
+    #: Tenant that issued the request (empty without the tenancy layer).
+    tenant: str = ""
+    #: Arrival time of the first attempt of this logical request (``0.0`` on
+    #: pre-tenancy records); the retry loop's deadline check measures elapsed
+    #: time from here.
+    origin_s: float = 0.0
+    #: The fleet's load-shedding hint attached to this failure: how long the
+    #: client should wait before retrying (0.0 when no hint was issued).  The
+    #: retry loop stretches its backoff to at least this value.
+    retry_after_s: float = 0.0
 
     @property
     def waiting_s(self) -> float:
@@ -128,6 +154,17 @@ class SimulationMetrics:
     arrivals: int = 0
     #: Of those, how many were retry re-injections (attempt > 1).
     retry_arrivals: int = 0
+    #: Arrivals the tenancy layer's admission controller denied for credits.
+    #: Denials are terminal and never reach routing, so they form their own
+    #: bucket in the conservation law: ``arrivals == completed + failed +
+    #: denied + pending + in-flight``.  Always 0 without the tenancy layer.
+    denied_requests: int = 0
+    #: Latency SLO target for this simulator's tenant (``None`` = no SLO).
+    #: When set, :meth:`record` counts completions whose *client-perceived*
+    #: latency (completion minus first-attempt arrival) meets the target.
+    slo_latency_s: Optional[float] = None
+    #: Completions that met ``slo_latency_s`` (0 when no target is set).
+    slo_attained: int = 0
     #: ``False`` drops the per-request :class:`RequestOutcome` objects at
     #: record time while keeping every incremental aggregate -- bounded
     #: memory for million-request runs.  Record-level views
@@ -166,9 +203,17 @@ class SimulationMetrics:
         self._completed_attempts_sum += outcome.attempts
         if outcome.cold_start:
             self.cold_starts += 1
+        if self.slo_latency_s is not None:
+            client_latency = outcome.completion_s - (outcome.origin_s or outcome.arrival_s)
+            if client_latency <= self.slo_latency_s:
+                self.slo_attained += 1
 
     def record_failure(self, failure: FailedRequest) -> None:
         self.failures.append(failure)
+
+    def record_denied(self) -> None:
+        """Count a credit-denied arrival (terminal; never routed or retried)."""
+        self.denied_requests += 1
 
     def record_arrival(self, attempts: int = 1) -> None:
         self.arrivals += 1
@@ -296,6 +341,15 @@ class SimulationMetrics:
         if not self._completed:
             return float("nan")
         return self.cold_starts / self._completed
+
+    def slo_attainment(self) -> float:
+        """Fraction of completions that met the latency SLO target.
+
+        ``nan`` when no target is configured or nothing completed.
+        """
+        if self.slo_latency_s is None or not self._completed:
+            return float("nan")
+        return self.slo_attained / self._completed
 
     def max_instances(self) -> int:
         if not self.instance_timeline:

@@ -60,6 +60,11 @@ class ActiveRequest:
     attempts: int = 1
     #: Cumulative client backoff spent before this attempt arrived.
     retry_wait_s: float = 0.0
+    #: Tenant that issued the request (empty without the tenancy layer).
+    tenant: str = ""
+    #: Arrival time of the first attempt of this logical request (``0.0``
+    #: means unknown: pre-tenancy construction paths).
+    origin_s: float = 0.0
 
 
 @dataclass(**_SLOTS)

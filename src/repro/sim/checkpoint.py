@@ -74,6 +74,64 @@ class SweepJournal:
                 ]
         return entries
 
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the journal with one line per key, dropping garbage.
+
+        Journals of repeatedly resumed (or multi-writer distributed) sweeps
+        accumulate duplicate entries for the same ``(scenario_id, seed)`` key
+        plus the occasional torn line from a kill mid-write; every resume
+        then re-parses all of it.  Compaction keeps the *last* record of each
+        key (last-wins, matching what :meth:`load` returns, which overwrites
+        earlier entries as it reads) in first-occurrence key order, drops
+        unparseable or wrong-shape lines, and replaces the file atomically
+        (write to a sibling temp file, then ``os.replace``) so a kill during
+        compaction leaves either the old or the new journal, never a torn
+        hybrid.
+
+        Returns ``{"kept": ..., "dropped_duplicates": ..., "dropped_garbage": ...}``.
+        No-op (all zeros) when the journal does not exist yet.
+        """
+        if self._handle is not None:
+            raise RuntimeError("close() the journal before compacting it")
+        stats = {"kept": 0, "dropped_duplicates": 0, "dropped_garbage": 0}
+        if not os.path.exists(self.path):
+            return stats
+        latest: Dict[Key, str] = {}
+        with open(self.path, "r") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    entry = json.loads(stripped)
+                except ValueError:
+                    stats["dropped_garbage"] += 1
+                    continue
+                if (
+                    not isinstance(entry, dict)
+                    or not isinstance(entry.get("scenario_id"), str)
+                    or not isinstance(entry.get("seed"), int)
+                    or not isinstance(entry.get("rows"), list)
+                ):
+                    stats["dropped_garbage"] += 1
+                    continue
+                key = (entry["scenario_id"], entry["seed"])
+                if key in latest:
+                    stats["dropped_duplicates"] += 1
+                # Keep the raw line: rows already round-tripped through json
+                # when they were recorded, so rewriting them verbatim cannot
+                # perturb float formatting.
+                latest[key] = stripped
+        stats["kept"] = len(latest)
+        tmp_path = self.path + ".compact.tmp"
+        with open(tmp_path, "w") as handle:
+            for line in latest.values():
+                handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        return stats
+
     def record(self, scenario_id: str, seed: int, rows: Rows) -> None:
         """Append one completed point and flush it immediately."""
         if self._handle is None:

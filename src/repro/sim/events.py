@@ -45,6 +45,7 @@ __all__ = [
     "KeepAliveExpired",
     "RequestArrived",
     "RequestCompleted",
+    "RequestDenied",
     "RequestExecuting",
     "RequestFailed",
     "RetryScheduled",
@@ -84,6 +85,7 @@ class RequestArrived(SimEvent):
     attempts: int = 1
     retry_wait_s: float = 0.0
     parent_id: str = ""
+    tenant: str = ""
 
 
 @dataclass(frozen=True, **_SLOTS)
@@ -137,6 +139,23 @@ class RequestFailed(SimEvent):
     """
 
     outcome: Any
+
+
+@dataclass(frozen=True, **_SLOTS)
+class RequestDenied(SimEvent):
+    """Admission control refused a request before any capacity was burned.
+
+    Published by the platform simulator when the tenancy layer's
+    :class:`~repro.tenancy.admission.AdmissionController` denies an arrival
+    (the tenant's credit account is exhausted and its policy says deny rather
+    than queue).  Denials are terminal and client-visible -- they model a
+    throttling response, so the retry loop never re-injects them.
+    """
+
+    request_id: str
+    tenant: str = ""
+    function_name: str = ""
+    reason: str = "credits"
 
 
 @dataclass(frozen=True, **_SLOTS)
@@ -236,10 +255,17 @@ class SandboxRejected(SimEvent):
     ``reason`` is ``"oversized"`` (the demand exceeds every zone's host
     shape), ``"no_capacity"`` (no host fits and queueing is disabled), or
     ``"queue_full"`` (the bounded admission queue is at its depth limit).
+
+    ``retry_after_s`` is the fleet's load-shedding hint: how long a client
+    should wait before retrying (0.0 when the fleet is not configured to
+    issue hints).  The feedback channel records it per sandbox so the
+    platform can stamp it onto the failure record and the retry loop can
+    stretch its backoff to honour it.
     """
 
     sandbox_name: str
     reason: str = ""
+    retry_after_s: float = 0.0
 
 
 @dataclass(frozen=True, **_SLOTS)

@@ -142,6 +142,11 @@ class FeedbackChannel:
         self._queued: List[str] = []
         #: sandbox -> one-shot callback fired when its admission resolves.
         self._gates: Dict[str, Callable[[SimEvent], None]] = {}
+        #: sandbox -> retry-after hint (seconds) its rejection carried.
+        self._retry_after_s: Dict[str, float] = {}
+        #: tenant -> simulator id prefixes owned by that tenant (set by the
+        #: co-simulation host when the tenancy layer is active).
+        self._tenant_prefixes: Dict[str, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # Service-time side
@@ -194,6 +199,9 @@ class FeedbackChannel:
 
     def _on_rejected(self, event: SandboxRejected) -> None:
         self._admission[event.sandbox_name] = AdmissionState.REJECTED
+        retry_after = getattr(event, "retry_after_s", 0.0)
+        if retry_after > 0.0:
+            self._retry_after_s[event.sandbox_name] = retry_after
         if event.sandbox_name in self._queued:
             self._queued.remove(event.sandbox_name)
         self._resolve_gate(event.sandbox_name, event)
@@ -214,6 +222,18 @@ class FeedbackChannel:
     def queue_wait_s(self, sandbox_name: str) -> float:
         """How long an admitted sandbox waited in the admission queue."""
         return self._queue_wait_s.get(sandbox_name, 0.0)
+
+    def retry_after_s(self, sandbox_name: str) -> float:
+        """The retry-after hint a rejected sandbox's rejection carried.
+
+        ``0.0`` when the fleet issues no hints
+        (:attr:`~repro.cluster.fleet.FleetConfig.retry_after_hint_s` unset)
+        or the sandbox was never rejected.  The platform simulator stamps
+        this onto the :class:`~repro.platform.metrics.FailedRequest` of every
+        request that was waiting on the sandbox, and the retry loop floors
+        its backoff at the hint.
+        """
+        return self._retry_after_s.get(sandbox_name, 0.0)
 
     def gate_readiness(self, sandbox_name: str, callback: Callable[[SimEvent], None]) -> None:
         """Call ``callback`` (once) when the sandbox's queued admission resolves.
@@ -246,3 +266,27 @@ class FeedbackChannel:
         if not prefix:
             return len(self._queued)
         return sum(1 for name in self._queued if name.startswith(prefix))
+
+    def set_tenant_prefixes(self, prefixes: Dict[str, Tuple[str, ...]]) -> None:
+        """Declare which simulator id prefixes each tenant owns.
+
+        Set once by the co-simulation host when the tenancy layer is active;
+        makes the admission-queue signal readable per *tenant* rather than
+        per simulator (:meth:`tenant_admission_queue_depth`).
+        """
+        self._tenant_prefixes = {
+            tenant: tuple(owned) for tenant, owned in prefixes.items()
+        }
+
+    def tenant_admission_queue_depth(self, tenant: str) -> int:
+        """One tenant's share of the fleet admission queue.
+
+        The sum of :meth:`admission_queue_depth` over every simulator prefix
+        the tenant owns -- the per-tenant backpressure signal (who is being
+        queued-out under saturation).  ``0`` for unknown tenants or when
+        :meth:`set_tenant_prefixes` was never called.
+        """
+        total = 0
+        for prefix in self._tenant_prefixes.get(tenant, ()):
+            total += self.admission_queue_depth(prefix)
+        return total

@@ -74,7 +74,12 @@ class RetryInjector(Protocol):
     """
 
     def inject_retry(
-        self, delay_s: float, attempts: int, retry_wait_s: float, parent_id: str = ""
+        self,
+        delay_s: float,
+        attempts: int,
+        retry_wait_s: float,
+        parent_id: str = "",
+        origin_s: float = 0.0,
     ) -> None:
         ...
 
@@ -95,6 +100,13 @@ class RetryPolicy:
         retry_budget: optional per-function cap on the *total* number of
             retries the loop will schedule for that function; once spent,
             further failures of the function give up immediately.
+        deadline_s: optional per-request retry deadline: once the elapsed
+            time since the *first* attempt's arrival reaches it, a failure
+            is terminal -- the load-shedding client of the tenancy layer.
+            Checked at failure time (never after the backoff draw), so the
+            publisher's ``gave_up`` stamp and the loop's action always
+            agree.  ``None`` (the default) retries regardless of elapsed
+            time -- the pre-deadline behaviour.
     """
 
     max_attempts: int = 3
@@ -103,6 +115,7 @@ class RetryPolicy:
     max_backoff_s: float = 30.0
     jitter: float = 0.1
     retry_budget: Optional[int] = None
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -117,6 +130,8 @@ class RetryPolicy:
             raise ValueError("jitter must be >= 0")
         if self.retry_budget is not None and self.retry_budget < 0:
             raise ValueError("retry_budget must be >= 0 (or None for unlimited)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 (or None for no deadline)")
 
     @classmethod
     def from_params(cls, params: Mapping[str, object]) -> "RetryPolicy":
@@ -125,10 +140,11 @@ class RetryPolicy:
         Used by the analysis sweep runners so grid points can tune the client
         behaviour (``retry_max_attempts``, ``retry_base_backoff_s``,
         ``retry_backoff_multiplier``, ``retry_max_backoff_s``,
-        ``retry_jitter``, ``retry_budget``) without each runner re-spelling
-        the defaults.
+        ``retry_jitter``, ``retry_budget``, ``retry_deadline_s``) without
+        each runner re-spelling the defaults.
         """
         budget = params.get("retry_budget")
+        deadline = params.get("retry_deadline_s")
         return cls(
             max_attempts=int(params.get("retry_max_attempts", 3)),  # type: ignore[arg-type]
             base_backoff_s=float(params.get("retry_base_backoff_s", 0.5)),  # type: ignore[arg-type]
@@ -136,6 +152,7 @@ class RetryPolicy:
             max_backoff_s=float(params.get("retry_max_backoff_s", 30.0)),  # type: ignore[arg-type]
             jitter=float(params.get("retry_jitter", 0.1)),  # type: ignore[arg-type]
             retry_budget=int(budget) if budget is not None else None,  # type: ignore[arg-type]
+            deadline_s=float(deadline) if deadline is not None else None,  # type: ignore[arg-type]
         )
 
     def backoff_s(self, failed_attempt: int, rng: np.random.Generator) -> float:
@@ -230,9 +247,16 @@ class RetryLoop:
         """Retries already charged against the function's budget."""
         return self._budget_spent.get(function, 0)
 
-    def will_retry(self, function: str, attempts: int) -> bool:
-        """Whether a failure of attempt ``attempts`` would be re-injected."""
+    def will_retry(self, function: str, attempts: int, elapsed_s: float = 0.0) -> bool:
+        """Whether a failure of attempt ``attempts`` would be re-injected.
+
+        ``elapsed_s`` is the time since the logical request's first attempt
+        arrived; under a :attr:`RetryPolicy.deadline_s` a failure at or past
+        the deadline is terminal (the client sheds the load).
+        """
         if attempts >= self.policy.max_attempts:
+            return False
+        if self.policy.deadline_s is not None and elapsed_s >= self.policy.deadline_s:
             return False
         remaining = self.budget_remaining(function)
         return remaining is None or remaining > 0
@@ -256,11 +280,20 @@ class RetryLoop:
         if simulator is None:
             return  # a failure this loop was never asked to own
         attempts = int(getattr(failure, "attempts", 1))
-        if not self.will_retry(name, attempts):
+        origin_s = float(getattr(failure, "origin_s", 0.0)) or float(
+            getattr(failure, "arrival_s", 0.0)
+        )
+        elapsed_s = float(getattr(failure, "failed_s", 0.0)) - origin_s
+        if not self.will_retry(name, attempts, elapsed_s):
             # Defensive: a publisher that did not consult will_retry() (so
             # gave_up stayed False) must not push the loop past its policy.
             return
         delay = self.policy.backoff_s(attempts, self._streams.stream("retry", name))
+        # Honour the fleet's retry-after hint: back off at least that long,
+        # so clients shed load from a cluster that told them it is saturated.
+        retry_after = float(getattr(failure, "retry_after_s", 0.0))
+        if retry_after > delay:
+            delay = retry_after
         self._budget_spent[name] = self._budget_spent.get(name, 0) + 1
         self.retries_scheduled += 1
         parent_id = str(getattr(failure, "request_id", ""))
@@ -269,6 +302,7 @@ class RetryLoop:
             attempts + 1,
             float(getattr(failure, "retry_wait_s", 0.0)) + delay,
             parent_id=parent_id,
+            origin_s=origin_s,
         )
         if self._bus is not None:
             # Trace/telemetry marker for the re-injection decision.  Published

@@ -1,0 +1,87 @@
+"""Token-bucket credit accounting for one tenant.
+
+The account is *lazy*: the balance is materialised only when queried, by
+folding the elapsed simulated time into ``balance + elapsed * refill_rate``
+(clamped at capacity).  Nothing here touches the kernel -- the
+:class:`~repro.tenancy.admission.AdmissionController` owns event scheduling
+-- so the account is a pure, deterministic function of (query times, spends).
+
+Float care: a caller that waits exactly :meth:`time_until` and spends again
+must succeed, but kernel time arithmetic (``(now + wait) - last``) is not
+exact in binary floating point.  :meth:`try_spend` therefore grants a
+``1e-9``-credit tolerance, orders of magnitude above the rounding error and
+orders of magnitude below any meaningful request cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["CreditAccount"]
+
+#: Spend tolerance absorbing float rounding in refill-time round trips.
+_SPEND_EPS = 1e-9
+
+
+class CreditAccount:
+    """A lazily-refilled token bucket, in credits.
+
+    Attributes:
+        capacity: bucket cap (``inf`` = unmetered: every spend succeeds).
+        refill_per_s: refill rate in credits per simulated second.
+    """
+
+    __slots__ = ("capacity", "refill_per_s", "_balance", "_last_s")
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float = 0.0,
+        initial: Optional[float] = None,
+        start_s: float = 0.0,
+    ) -> None:
+        if not capacity > 0:
+            raise ValueError("capacity must be > 0 (inf for unmetered)")
+        if refill_per_s < 0:
+            raise ValueError("refill_per_s must be >= 0")
+        if initial is not None and initial < 0:
+            raise ValueError("initial must be >= 0 (or None for full)")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._balance = self.capacity if initial is None else min(float(initial), self.capacity)
+        self._last_s = float(start_s)
+
+    def _refill(self, now_s: float) -> None:
+        if now_s > self._last_s:
+            if self.refill_per_s > 0.0 and self._balance < self.capacity:
+                self._balance = min(
+                    self.capacity, self._balance + (now_s - self._last_s) * self.refill_per_s
+                )
+            self._last_s = now_s
+
+    def balance(self, now_s: float) -> float:
+        """The balance at ``now_s`` (monotonically non-decreasing query times)."""
+        self._refill(now_s)
+        return self._balance
+
+    def try_spend(self, now_s: float, amount: float) -> bool:
+        """Spend ``amount`` credits if affordable at ``now_s``; report success."""
+        self._refill(now_s)
+        if self._balance + _SPEND_EPS < amount:
+            return False
+        self._balance = max(self._balance - amount, 0.0)
+        return True
+
+    def time_until(self, now_s: float, amount: float) -> float:
+        """Seconds until ``amount`` becomes affordable (0 if it already is).
+
+        ``inf`` when the bucket cannot ever afford it (no refill, or the
+        amount exceeds capacity) -- the caller must not schedule a wake-up.
+        """
+        self._refill(now_s)
+        if self._balance + _SPEND_EPS >= amount:
+            return 0.0
+        if self.refill_per_s <= 0.0 or amount > self.capacity + _SPEND_EPS:
+            return math.inf
+        return (amount - self._balance) / self.refill_per_s

@@ -108,7 +108,7 @@ class _Recorder:
     def __init__(self):
         self.injected = []
 
-    def inject_retry(self, delay_s, attempts, retry_wait_s, parent_id=""):
+    def inject_retry(self, delay_s, attempts, retry_wait_s, parent_id="", origin_s=0.0):
         self.injected.append((delay_s, attempts, retry_wait_s))
 
 

@@ -10,6 +10,7 @@ sweep layer reassembles rows by grid index.
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
 import threading
 
@@ -353,6 +354,67 @@ class TestSweepJournal:
     def test_missing_file_loads_empty(self, tmp_path):
         assert SweepJournal(tmp_path / "absent.jsonl").load() == {}
 
+    def test_compact_collapses_duplicates_last_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("a", 1, [{"x": 1}])
+        journal.record("b", 2, [{"x": 2}])
+        journal.record("a", 1, [{"x": 10}])  # a resumed sweep re-recorded the point
+        journal.record("a", 1, [{"x": 100}])
+        journal.close()
+        stats = journal.compact()
+        assert stats == {"kept": 2, "dropped_duplicates": 2, "dropped_garbage": 0}
+        # Last record wins -- exactly what load() already returned pre-compaction.
+        loaded = journal.load()
+        assert loaded[("a", 1)] == [{"x": 100}]
+        assert loaded[("b", 2)] == [{"x": 2}]
+        # One line per key, first-occurrence key order preserved.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["scenario_id"] == "a"
+        assert json.loads(lines[1])["scenario_id"] == "b"
+
+    def test_compact_drops_torn_and_garbage_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("a", 1, [{"x": 1}])
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write('["wrong", "shape"]\n')
+            handle.write('{"scenario_id": "c", "seed": "not-int", "rows": []}\n')
+            handle.write('{"scenario_id": "d", "seed": 4, "rows"')  # torn by a kill
+        before = journal.load()
+        stats = journal.compact()
+        assert stats == {"kept": 1, "dropped_duplicates": 0, "dropped_garbage": 4}
+        # Compaction is a pure cleanup: load() sees exactly what it saw before.
+        assert journal.load() == before
+        # ...and the rewritten file is pristine JSONL (every line parses).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_compact_round_trips_rows_byte_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("p", 3, [{"y": 0.1, "nan": float("nan"), "none": None, "b": True}])
+        journal.close()
+        original_line = path.read_text()
+        journal.compact()
+        # Kept lines are rewritten verbatim: float formatting cannot drift.
+        assert path.read_text() == original_line
+
+    def test_compact_missing_file_is_a_noop(self, tmp_path):
+        stats = SweepJournal(tmp_path / "absent.jsonl").compact()
+        assert stats == {"kept": 0, "dropped_duplicates": 0, "dropped_garbage": 0}
+        assert not (tmp_path / "absent.jsonl").exists()
+
+    def test_compact_refuses_while_open_for_append(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record("a", 1, [{"x": 1}])
+        with pytest.raises(RuntimeError, match="close"):
+            journal.compact()
+        journal.close()
+
 
 # ----------------------------------------------------------------------
 # Socket-queue fault tolerance
@@ -517,3 +579,25 @@ class TestCliParity:
         assert main(args) == 0
         assert main(args) == 0
         assert "skipping 1 already-journaled points, running 0" in capsys.readouterr().err
+
+    def test_cli_compact_checkpoint(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        # A completed run journals 2 points; append a duplicate and a torn
+        # line by hand so compaction has something to drop, then resume with
+        # --compact-checkpoint: it compacts first, and the (now clean)
+        # journal still skips every point.
+        assert main(_CLI_SWEEP + ["--checkpoint", str(journal)]) == 0
+        first_line = journal.read_text().splitlines()[0]
+        with open(journal, "a") as handle:
+            handle.write(first_line + "\n")
+            handle.write('{"scenario_id": "torn", "seed": 9, "rows"')
+        capsys.readouterr()
+        assert main(_CLI_SWEEP + ["--checkpoint", str(journal), "--compact-checkpoint"]) == 0
+        captured = capsys.readouterr()
+        assert "kept 2 entries, dropped 1 duplicates and 1 garbage lines" in captured.out
+        assert "skipping 2 already-journaled points, running 0" in captured.err
+        assert len(journal.read_text().splitlines()) == 2
+
+    def test_cli_compact_checkpoint_requires_checkpoint(self, capsys):
+        assert main(["sweep", "--compact-checkpoint"]) == 2
+        assert "--compact-checkpoint requires --checkpoint" in capsys.readouterr().err

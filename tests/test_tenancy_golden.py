@@ -1,0 +1,159 @@
+"""Golden-file regression pin for one saturated two-tenant scenario.
+
+The tenancy layer touches every layer at once: traffic (tenant-tagged
+arrivals), admission (credit metering before routing, denials and credit
+queueing), serving (released requests re-entering with their original arrival
+stamps), billing (per-tenant invoice buckets) and the summary columns (SLO
+attainment, goodput, Jain's fairness index).  Property tests bound its
+behaviour; this test *freezes* it: one saturated co-simulation with a
+deny-policy tenant and a queue-policy tenant -- credit denials, credit-queue
+waits, per-tenant invoices and the fairness index all active -- is pinned
+into ``tests/golden/tenancy/`` and compared **float-exact** (JSON stores the
+shortest round-tripping ``repr`` of each double), so any change to credit
+arithmetic, release ordering or per-tenant accounting must touch the golden
+deliberately.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_tenancy_golden.py
+"""
+
+import dataclasses
+import json
+import math
+import pathlib
+
+from repro.cluster.cosim import ClusterSimulator, FunctionDeployment
+from repro.platform.presets import get_platform_preset
+from repro.tenancy import TenantConfig
+from repro.workloads.functions import PYAES_FUNCTION
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "tenancy"
+GOLDEN_PATH = GOLDEN_DIR / "two_tenant_saturated.json"
+
+#: Frozen scenario identity: changing any of these invalidates the golden.
+SEED = 20260808
+TENANTS = (
+    # Gold pays for little and gets throttled hard: a small bucket with a
+    # deny policy produces credit denials under saturation.
+    TenantConfig(
+        "gold",
+        credit_capacity=12.0,
+        credit_refill_per_s=1.0,
+        on_exhausted="deny",
+        slo_latency_s=0.6,
+    ),
+    # Silver parks instead: its credit-queue waits show up as latency and
+    # missed SLOs rather than denials.
+    TenantConfig(
+        "silver",
+        credit_capacity=12.0,
+        credit_refill_per_s=1.0,
+        on_exhausted="queue",
+        slo_latency_s=0.6,
+        weight=2.0,
+    ),
+)
+
+
+def _scenario() -> ClusterSimulator:
+    """An offered load well above both tenants' credit entitlements.
+
+    Two functions per tenant (round-robin assignment over four deployments),
+    8 rps each against 1-credit-per-second refills: both buckets drain within
+    two simulated seconds, after which gold denies and silver queues -- every
+    tenancy mechanism (spend, refill, denial, credit-release, SLO judgement,
+    per-tenant billing, weighted fairness) fires within the run.
+    """
+    preset = get_platform_preset("aws_lambda_like")
+    deployments = []
+    for index in range(4):
+        function = dataclasses.replace(
+            PYAES_FUNCTION.to_function_config(1.0, 2.0, init_duration_s=0.5),
+            name=f"fn-{index:02d}",
+        )
+        deployments.append(
+            FunctionDeployment(function=function, platform=preset, rps=8.0, duration_s=6.0)
+        )
+    return ClusterSimulator(
+        deployments,
+        billing_platform="aws_lambda",
+        seed=SEED,
+        tenants=list(TENANTS),
+    )
+
+
+def _snapshot() -> dict:
+    simulator = _scenario()
+    result = simulator.run()
+    report = result.tenancy
+    admission = simulator.admission
+    summary = result.summary()
+    # NaN is a valid column value (SLO attainment with zero completions) but
+    # not valid strict JSON; this scenario must not produce any.
+    assert not any(
+        isinstance(v, float) and math.isnan(v) for v in summary.values()
+    ), "golden scenario produced NaN columns; pick a scenario where every tenant completes"
+    return {
+        "seed": SEED,
+        "summary": summary,
+        "fairness": report.fairness(),
+        "invoice_by_tenant": {
+            t.name: {
+                "billed_usd": t.billed_usd,
+                "credits_spent": t.credits_spent,
+                "billed_per_goodput_usd": t.billed_per_goodput_usd,
+            }
+            for t in report.tenants
+        },
+        "admission_counters": {
+            name: {
+                "admitted": admission.admitted[name],
+                "denied": admission.denied[name],
+                "queued_total": admission.queued_total[name],
+                "resumed": admission.resumed[name],
+            }
+            for name in admission.tenant_names
+        },
+    }
+
+
+def test_two_tenant_scenario_matches_golden_float_exact():
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; regenerate with "
+        "'PYTHONPATH=src python tests/test_tenancy_golden.py'"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = _snapshot()
+    # Field-by-field == on floats: bit-exact, no tolerance.  A failure here
+    # means credit arithmetic, release ordering or per-tenant accounting
+    # changed.
+    assert current == golden
+
+
+def test_golden_scenario_exercises_every_tenancy_mechanism():
+    """The pin is only worth its bytes if the scenario is non-trivial."""
+    snapshot = _snapshot()
+    summary = snapshot["summary"]
+    counters = snapshot["admission_counters"]
+    assert counters["gold"]["denied"] > 0            # deny policy fired
+    assert counters["silver"]["denied"] == 0         # queue policy never denies
+    assert counters["silver"]["resumed"] > 0         # credit releases fired
+    assert summary["credit_denied_requests"] == counters["gold"]["denied"]
+    assert 0.0 < summary["slo_attainment"] < 1.0     # SLO judgement is live
+    assert 0.0 < summary["jain_fairness"] < 1.0      # weighted goodput differs
+    invoices = snapshot["invoice_by_tenant"]
+    assert all(entry["billed_usd"] > 0 for entry in invoices.values())
+    # The per-tenant buckets partition the global invoice exactly (same
+    # float accumulation order: completion order within one running sum).
+    assert sum(e["billed_usd"] for e in invoices.values()) <= summary["cost_usd"] + 1e-12
+
+
+def regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_snapshot(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()
